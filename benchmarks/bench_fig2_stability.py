@@ -1,0 +1,37 @@
+"""Figure 2 benchmark — eigenvalue pictures of the resampling stability analysis.
+
+Paper series: three panels of eigenvalue loci (discrete / continuous /
+resampled) and the criterion tau <= 1.  This benchmark regenerates the
+point sets and checks the containment properties exactly.
+"""
+
+import numpy as np
+
+from repro.experiments.fig2_stability import run_figure2
+from repro.experiments.reporting import format_table
+
+
+def test_fig2_stability_regions(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure2(taus=(0.25, 0.5, 1.0, 1.5), sampling_time=25e-12),
+        rounds=1,
+        iterations=1,
+    )
+    rows = result.summary_rows()
+    print("\nFigure 2 — resampling stability (criterion: stable iff tau <= 1)")
+    print(
+        format_table(
+            ["tau", "analytically stable", "marching bounded", "circle centre", "radius"],
+            rows,
+        )
+    )
+    # Quantitative reproduction of the paper's analysis.
+    assert result.continuous_all_left_half_plane
+    for tau, stable, bounded, centre, radius in rows:
+        assert stable == (tau <= 1.0)
+        assert bounded == (tau <= 1.0)
+        assert centre == 1.0 - tau
+        assert radius == tau
+    # The resampled eigenvalues fill the predicted circle.
+    region = result.regions[0.5]
+    assert np.all(np.abs(region.resampled - region.circle_center) <= region.circle_radius + 1e-12)

@@ -1,0 +1,52 @@
+"""Figure 4 benchmark — RC-loaded validation line, four engines.
+
+Paper series: near- and far-end voltages over 0-5 ns computed by
+(i) SPICE + transistor-level devices, (ii) SPICE + RBF macromodels,
+(iii) 1-D FDTD + RBF, (iv) 3-D FDTD + RBF.  The paper's claim is that the
+four curves overlay, with the 3-D FDTD one showing only a marginal
+deviation due to numerical dispersion.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale
+from repro.experiments.fig4_rc_load import run_figure4
+from repro.experiments.reporting import format_table, sample_series
+
+
+def test_fig4_rc_load_four_engines(benchmark, models):
+    scale = bench_scale()
+    result = benchmark.pedantic(
+        lambda: run_figure4(scale=scale, models=models, circuit_dt=5e-12),
+        rounds=1,
+        iterations=1,
+    )
+
+    print(f"\nFigure 4 — RC load (1 pF // 500 ohm), structure scale {scale}")
+    print(f"effective line constants: Zc = {result.z_c:.1f} ohm, TD = {result.t_d*1e12:.0f} ps "
+          f"(paper, full length: ~131 ohm, ~400 ps)")
+    sample_times = np.linspace(0.0, result.link.duration, 11)
+    headers = ["far-end series"] + [f"{t*1e9:.1f}ns" for t in sample_times]
+    rows = [
+        [engine] + [f"{v:+.2f}" for v in sample_series(res, "far_end", sample_times)]
+        for engine, res in result.results.items()
+    ]
+    print(format_table(headers, rows))
+    print("relative RMS deviation from SPICE (transistor reference):")
+    for engine, metrics in result.agreement.items():
+        print(f"  {engine:12s}  near {metrics['near_end']:.3f}   far {metrics['far_end']:.3f}")
+
+    # Shape checks mirroring the paper's conclusions.
+    np.testing.assert_allclose(result.z_c, 131.0, rtol=0.12)
+    for engine, metrics in result.agreement.items():
+        assert metrics["near_end"] < 0.06, engine
+        assert metrics["far_end"] < 0.08, engine
+    # The macromodel-based engines agree with each other even more tightly.
+    spice_rbf = result.results["spice-rbf"]
+    fdtd3d = result.results["fdtd3d-rbf"]
+    common = spice_rbf.times
+    diff = spice_rbf.voltage("far_end") - fdtd3d.resampled_voltage("far_end", common)
+    swing = spice_rbf.voltage("far_end").max() - spice_rbf.voltage("far_end").min()
+    assert np.sqrt(np.mean(diff**2)) / swing < 0.05
+    # RC load on a ~131 ohm line: strong overshoot above the 1.8 V rail.
+    assert result.results["spice-transistor"].voltage("far_end").max() > 2.1

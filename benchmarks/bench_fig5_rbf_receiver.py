@@ -1,0 +1,46 @@
+"""Figure 5 benchmark — validation line loaded by the RBF receiver macromodel.
+
+Paper series: driver and receiver voltages over 0-5 ns, "SPICE (RBF model)"
+versus "3D-FDTD"; the capacitive receiver makes the line ring with visible
+overshoot above the supply rail.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale
+from repro.experiments.fig5_rbf_receiver import run_figure5
+from repro.experiments.reporting import format_table, sample_series
+
+
+def test_fig5_receiver_load(benchmark, models):
+    scale = bench_scale()
+    result = benchmark.pedantic(
+        lambda: run_figure5(scale=scale, models=models, circuit_dt=5e-12),
+        rounds=1,
+        iterations=1,
+    )
+
+    print(f"\nFigure 5 — RBF receiver load, structure scale {scale}")
+    print(f"effective line constants: Zc = {result.z_c:.1f} ohm, TD = {result.t_d*1e12:.0f} ps")
+    sample_times = np.linspace(0.0, result.link.duration, 11)
+    headers = ["far-end series"] + [f"{t*1e9:.1f}ns" for t in sample_times]
+    rows = [
+        [engine] + [f"{v:+.2f}" for v in sample_series(res, "far_end", sample_times)]
+        for engine, res in result.results.items()
+    ]
+    print(format_table(headers, rows))
+    for engine, metrics in result.agreement.items():
+        print(f"  {engine:16s} vs spice-rbf:  near {metrics['near_end']:.3f}   far {metrics['far_end']:.3f}")
+
+    # Paper shape: the two macromodel engines overlay.
+    metrics = result.agreement["fdtd3d-rbf"]
+    assert metrics["near_end"] < 0.06
+    assert metrics["far_end"] < 0.10
+    # Capacitive receiver: overshoot above the rail followed by ringing.
+    far = result.results["spice-rbf"].voltage("far_end")
+    assert far.max() > 2.0
+    assert far.min() > -1.0
+    # Eventually centred near the supply after the up transition.
+    times = result.results["spice-rbf"].times
+    late = far[(times > 0.6 * result.link.duration) & (times < 0.8 * result.link.duration)]
+    assert abs(np.mean(late) - 1.8) < 0.35

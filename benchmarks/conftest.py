@@ -1,0 +1,41 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures (or an ablation) and
+prints the series it produces.  The structure scale is controlled with the
+``REPRO_BENCH_SCALE`` environment variable:
+
+* ``REPRO_BENCH_SCALE=1.0`` reproduces the paper-size structures
+  (180 x 24 x 23 cells for the validation line, 100 x 100 x 3 for the PCB);
+  expect a few minutes per 3-D figure.
+* the default of ``0.5`` halves the line length / board size so the whole
+  benchmark suite completes in a couple of minutes while preserving every
+  qualitative feature (the ideal-line engines always follow the measured
+  effective line constants, so the comparison stays apples-to-apples).
+
+Identified macromodels are cached across benchmarks within the session.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.devices import identified_reference_macromodels
+
+
+def bench_scale() -> float:
+    """Structure scale used by the 3-D benchmarks."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def models():
+    """Macromodels identified from the transistor-level reference devices."""
+    return identified_reference_macromodels(use_identification=True)
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    """Scale fixture shared by the figure benchmarks."""
+    return bench_scale()

@@ -1,0 +1,74 @@
+"""Macromodel identification from transistor-level devices, end to end.
+
+The paper's macromodels are "computed only once through a rigorous
+identification procedure and used for all subsequent simulations".  This
+example walks through that upstream procedure with the transistor-level
+reference devices of this repository:
+
+1. fixed-logic-state port records of the driver (multilevel sweep of the
+   output while the input is held HIGH or LOW) -> the two RBF submodels;
+2. switching records under two different loads -> the weight templates;
+3. receiver records inside and beyond the rails -> the linear and
+   protection submodels;
+4. validation of the identified driver against the transistor-level device
+   on a load it was *not* trained on;
+5. saving the identified models to a JSON component library.
+
+Run with:  python examples/device_identification.py   (about half a minute)
+"""
+
+import numpy as np
+
+from repro.circuits.netlist import GROUND, Circuit
+from repro.circuits.devices import add_cmos_driver
+from repro.circuits.elements import Resistor
+from repro.circuits.rbf_element import MacromodelElement
+from repro.circuits.transient import TransientSolver
+from repro.experiments.devices import identified_reference_macromodels
+from repro.macromodel.driver import LogicStimulus
+from repro.macromodel.library import DeviceLibrary, ReferenceDeviceParameters
+from repro.waveforms.analysis import compare_waveforms
+from repro.waveforms.signals import BitPattern
+
+params = ReferenceDeviceParameters()
+
+# -- 1-3. run the identification workflow --------------------------------------
+print("identifying driver and receiver macromodels from the transistor-level devices...")
+models = identified_reference_macromodels(params, use_identification=True)
+driver, receiver = models.driver, models.receiver
+print(f"  driver : {driver.submodel_up.expansion.n_centers} + "
+      f"{driver.submodel_down.expansion.n_centers} Gaussian centres, "
+      f"r = {driver.dynamic_order}, Ts = {driver.sampling_time*1e12:.0f} ps")
+print(f"  receiver: linear + 2 x {receiver.protection_up.expansion.n_centers} centres")
+
+# -- 4. validate on an unseen load ----------------------------------------------
+# Transistor-level reference: driver into a 75 ohm load (not used in training).
+dt = 5e-12
+pattern = BitPattern("0110", bit_time=1.5e-9, high=params.vdd, edge_time=0.1e-9, t_start=2e-9)
+ckt_ref = Circuit("validation-transistor")
+add_cmos_driver(ckt_ref, "drv", "out", pattern, params)
+ckt_ref.add(Resistor("rl", "out", GROUND, 75.0))
+ref = TransientSolver(ckt_ref, dt).run(2e-9 + 6e-9, record_nodes=["out"])
+
+# Macromodel under the same load and pattern.
+ckt_mm = Circuit("validation-macromodel")
+stim = LogicStimulus.from_pattern("0110", 1.5e-9)
+ckt_mm.add(MacromodelElement("drv", "out", GROUND, driver.bound(stim), dt))
+ckt_mm.add(Resistor("rl", "out", GROUND, 75.0))
+mm = TransientSolver(ckt_mm, dt).run(6e-9, record_nodes=["out"])
+
+start = int(round(2e-9 / dt))  # drop the transistor engine's settling interval
+v_ref = ref.voltage("out")[start:]
+v_mm = np.interp(ref.times[start:] - ref.times[start], mm.times, mm.voltage("out"))
+cmp_ = compare_waveforms(v_ref, v_mm)
+print("\nvalidation on an unseen 75 ohm load, pattern '0110':")
+print(f"  relative RMS deviation: {cmp_.rms_relative:.3f}")
+print(f"  maximum deviation     : {cmp_.max_abs:.3f} V")
+
+# -- 5. persist the identified models -------------------------------------------
+library = DeviceLibrary()
+library.add(driver)
+library.add(receiver)
+library.save("identified_devices.json")
+print("\nsaved the identified models to identified_devices.json")
+print("reload them with DeviceLibrary.load('identified_devices.json')")

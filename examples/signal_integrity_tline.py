@@ -1,0 +1,78 @@
+"""Signal-integrity analysis of the validation line with three engines.
+
+Reproduces a reduced version of the paper's Figure 4 workflow end to end:
+
+1. measure the effective characteristic impedance and delay of the
+   discretised 3-D structure (the paper quotes Zc ~ 131 ohm, TD ~ 0.4 ns);
+2. run the same driver-line-RC-load link with the SPICE-class engine
+   (RBF macromodels + ideal line), the 1-D FDTD hybrid and the 3-D FDTD
+   hybrid;
+3. report the cross-engine agreement and standard SI metrics.
+
+Run with:  python examples/signal_integrity_tline.py   (about a minute)
+"""
+
+import numpy as np
+
+from repro.circuits.testbenches import run_link_rbf
+from repro.core.cosim import LinkDescription
+from repro.experiments.devices import ReferenceMacromodels
+from repro.experiments.fig4_rc_load import run_fdtd1d_link, run_fdtd3d_link
+from repro.experiments.reporting import engine_agreement, format_table, sample_series
+from repro.macromodel.library import (
+    ReferenceDeviceParameters,
+    make_reference_driver_macromodel,
+    make_reference_receiver_macromodel,
+)
+from repro.structures.validation_line import ValidationLineStructure, estimate_line_parameters
+from repro.waveforms.analysis import overshoot, undershoot
+
+SCALE = 0.5  # half-length structure; set to 1.0 for the paper's full line
+
+params = ReferenceDeviceParameters()
+models = ReferenceMacromodels(
+    driver=make_reference_driver_macromodel(params),
+    receiver=make_reference_receiver_macromodel(params),
+    params=params,
+    source="library",
+)
+
+# -- 1. the structure and its effective line constants ------------------------
+structure = ValidationLineStructure.scaled(SCALE)
+z_c, t_d = estimate_line_parameters(structure)
+print(f"structure: {structure.nx} x {structure.ny} x {structure.nz} cells "
+      f"({structure.mesh_size*1e3:.3f} mm mesh)")
+print(f"effective line constants: Zc = {z_c:.1f} ohm, TD = {t_d*1e12:.0f} ps "
+      f"(paper, full length: ~131 ohm, ~400 ps)")
+
+link = LinkDescription(load="rc", z0=z_c, delay=t_d, duration=5e-9)
+
+# -- 2. three engines ----------------------------------------------------------
+results = {
+    "spice-rbf": run_link_rbf(link, models.driver, models.receiver, dt=5e-12, params=params),
+    "fdtd1d-rbf": run_fdtd1d_link(models, link, z_c, t_d),
+    "fdtd3d-rbf": run_fdtd3d_link(structure, models, link),
+}
+
+# -- 3. report ------------------------------------------------------------------
+sample_times = np.linspace(0, link.duration, 11)
+rows = [
+    [name] + [f"{v:+.2f}" for v in sample_series(res, "far_end", sample_times)]
+    for name, res in results.items()
+]
+print("\nfar-end voltage [V]")
+print(format_table(["engine"] + [f"{t*1e9:.1f}ns" for t in sample_times], rows))
+
+reference = results["spice-rbf"]
+print("\nagreement with the ideal-line SPICE-RBF engine (relative RMS):")
+for name, res in results.items():
+    if name == "spice-rbf":
+        continue
+    metrics = engine_agreement(reference, res)
+    print(f"  {name}: near {metrics['near_end']:.3f}, far {metrics['far_end']:.3f}")
+
+print("\nsignal-integrity metrics at the far end (3-D FDTD engine):")
+far = results["fdtd3d-rbf"].voltage("far_end")
+print(f"  overshoot : {overshoot(far, 1.8):.2f} V")
+print(f"  undershoot: {undershoot(far, 0.0):.2f} V")
+print(f"  swing     : {far.max() - far.min():.2f} V")

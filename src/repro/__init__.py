@@ -1,0 +1,79 @@
+"""repro — Combined FDTD/Macromodel simulation of interconnected digital devices.
+
+A from-scratch Python reproduction of S. Grivet-Talocia, I. S. Stievano,
+I. A. Maio and F. G. Canavero, "Combined FDTD/Macromodel Simulation of
+Interconnected Digital Devices", DATE 2003.
+
+The package is organised by subsystem:
+
+* :mod:`repro.waveforms` — stimulus generation and waveform analysis.
+* :mod:`repro.macromodel` — Gaussian-RBF parametric macromodels of digital
+  I/O ports (drivers and receivers) and their identification.
+* :mod:`repro.circuits` — a SPICE-class MNA transient simulator with
+  transistor-level reference devices and an ideal-transmission-line model.
+* :mod:`repro.fdtd` — 1-D and 3-D FDTD solvers with lumped elements, Mur
+  boundaries and plane-wave illumination.
+* :mod:`repro.core` — the paper's contribution: resampling of the
+  discrete-time macromodels onto the solver time step, its stability
+  analysis, and the Newton-Raphson coupling of macromodel ports with the
+  field update.
+* :mod:`repro.structures` — the two structures of the paper's evaluation.
+* :mod:`repro.experiments` — one module per figure, regenerating the
+  paper's curves and comparison metrics.
+
+Quickstart
+----------
+>>> from repro.macromodel import make_reference_driver_macromodel
+>>> from repro.macromodel.driver import LogicStimulus
+>>> from repro.core.ports import MacromodelTermination, ParallelRCTermination
+>>> from repro.fdtd.solver1d import FDTD1DLine
+>>> driver = make_reference_driver_macromodel().bound(LogicStimulus.from_pattern("010", 2e-9))
+>>> dt = 0.4e-9 / 100
+>>> line = FDTD1DLine(131.0, 0.4e-9,
+...                   MacromodelTermination.from_model(driver, dt),
+...                   ParallelRCTermination(500.0, 1e-12, dt))
+>>> result = line.run(5e-9)
+>>> result.voltage("far_end").shape
+(1250,)
+"""
+
+from repro.core.cosim import LinkDescription, SimulationResult
+from repro.core.newton import NewtonOptions, NewtonStats
+from repro.core.ports import (
+    MacromodelTermination,
+    OpenTermination,
+    ParallelRCTermination,
+    ResistorTermination,
+    ResistiveSourceTermination,
+)
+from repro.core.resampling import ResampledPortModel
+from repro.macromodel import (
+    DriverMacromodel,
+    LogicStimulus,
+    ReceiverMacromodel,
+    make_reference_driver_macromodel,
+    make_reference_receiver_macromodel,
+)
+from repro.macromodel.library import ReferenceDeviceParameters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LinkDescription",
+    "SimulationResult",
+    "NewtonOptions",
+    "NewtonStats",
+    "MacromodelTermination",
+    "OpenTermination",
+    "ParallelRCTermination",
+    "ResistorTermination",
+    "ResistiveSourceTermination",
+    "ResampledPortModel",
+    "DriverMacromodel",
+    "ReceiverMacromodel",
+    "LogicStimulus",
+    "make_reference_driver_macromodel",
+    "make_reference_receiver_macromodel",
+    "ReferenceDeviceParameters",
+    "__version__",
+]

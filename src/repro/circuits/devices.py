@@ -1,0 +1,190 @@
+"""Transistor-level reference devices (the paper's "SPICE (reference)" models).
+
+The paper's validation compares the macromodel-based engines against SPICE
+with *transistor-level* models of a commercial 1.8 V high-speed CMOS driver
+and receiver.  Those netlists are proprietary; the substitute devices built
+here use the same synthetic technology parameters as the analytic
+characteristics in :mod:`repro.macromodel.library`
+(:class:`~repro.macromodel.library.ReferenceDeviceParameters`), so that
+
+* the transistor-level circuit and the analytic characteristics agree in
+  their static I-V behaviour, and
+* macromodels identified from transistor-level transients reproduce the
+  transistor-level waveforms, which is the paper's central premise.
+
+Driver topology: a single pre-driver inverter feeding a large output
+inverter, pad capacitance, and drain-junction clamp diodes to both rails.
+Receiver topology: ESD protection diodes to both rails, the input (gate)
+capacitance and a weak leakage path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.circuits.diode import Diode
+from repro.circuits.elements import Capacitor, Resistor, VoltageSource
+from repro.circuits.mosfet import Mosfet
+from repro.circuits.netlist import GROUND, Circuit
+from repro.macromodel.library import ReferenceDeviceParameters
+
+__all__ = [
+    "CmosDriverCircuit",
+    "CmosReceiverCircuit",
+    "add_cmos_driver",
+    "add_cmos_receiver",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class CmosDriverCircuit:
+    """Handles to the nodes/elements of an instantiated transistor-level driver."""
+
+    name: str
+    port_node: str
+    input_node: str
+    gate_node: str
+    supply_node: str
+    input_source: str
+    params: ReferenceDeviceParameters
+
+
+@dataclasses.dataclass(frozen=True)
+class CmosReceiverCircuit:
+    """Handles to the nodes/elements of an instantiated transistor-level receiver."""
+
+    name: str
+    port_node: str
+    supply_node: str
+    params: ReferenceDeviceParameters
+
+
+def add_cmos_driver(
+    circuit: Circuit,
+    name: str,
+    port_node: str,
+    input_waveform: Callable[[float], float],
+    params: ReferenceDeviceParameters | None = None,
+) -> CmosDriverCircuit:
+    """Instantiate the transistor-level CMOS driver into ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to extend.
+    name:
+        Instance prefix; all internal nodes and element names are prefixed
+        with it so several devices can coexist.
+    port_node:
+        The node the output pad connects to (the external port).
+    input_waveform:
+        Logic input voltage waveform (0 / Vdd levels); a
+        :class:`~repro.waveforms.signals.BitPattern` plugs in directly.
+    params:
+        Technology parameters (defaults to the reference technology).
+    """
+    params = params or ReferenceDeviceParameters()
+    vdd_node = f"{name}_vdd"
+    in_node = f"{name}_in"
+    gate_node = f"{name}_gate"
+
+    # Supply and logic input.
+    circuit.add(VoltageSource(f"{name}_vsup", vdd_node, GROUND, params.vdd))
+    input_source = f"{name}_vin"
+    circuit.add(VoltageSource(input_source, in_node, GROUND, input_waveform))
+
+    # Pre-driver inverter (quarter-size devices): gate_node = NOT(in).
+    circuit.add(
+        Mosfet(
+            f"{name}_mp_pre", gate_node, in_node, vdd_node,
+            polarity="p", k=params.kp / 4.0, vt=params.vtp, lam=params.lam,
+        )
+    )
+    circuit.add(
+        Mosfet(
+            f"{name}_mn_pre", gate_node, in_node, GROUND,
+            polarity="n", k=params.kn / 4.0, vt=params.vtn, lam=params.lam,
+        )
+    )
+    # Gate capacitance of the (large) output stage loads the pre-driver and
+    # sets the gate slew rate, i.e. the switching time of the port (about
+    # params.switch_time for the default technology values).
+    circuit.add(Capacitor(f"{name}_cgate", gate_node, GROUND, 1.5 * params.c_out))
+
+    # Output inverter: port = NOT(gate) = input logic value.
+    circuit.add(
+        Mosfet(
+            f"{name}_mp_out", port_node, gate_node, vdd_node,
+            polarity="p", k=params.kp, vt=params.vtp, lam=params.lam,
+        )
+    )
+    circuit.add(
+        Mosfet(
+            f"{name}_mn_out", port_node, gate_node, GROUND,
+            polarity="n", k=params.kn, vt=params.vtn, lam=params.lam,
+        )
+    )
+
+    # Pad parasitics and clamp diodes.
+    circuit.add(Capacitor(f"{name}_cpad", port_node, GROUND, params.c_out))
+    circuit.add(
+        Diode(
+            f"{name}_dclamp_up", port_node, vdd_node,
+            saturation_current=params.diode_is,
+            emission_coefficient=params.diode_n,
+            thermal_voltage=params.vt_thermal,
+        )
+    )
+    circuit.add(
+        Diode(
+            f"{name}_dclamp_dn", GROUND, port_node,
+            saturation_current=params.diode_is,
+            emission_coefficient=params.diode_n,
+            thermal_voltage=params.vt_thermal,
+        )
+    )
+
+    return CmosDriverCircuit(
+        name=name,
+        port_node=port_node,
+        input_node=in_node,
+        gate_node=gate_node,
+        supply_node=vdd_node,
+        input_source=input_source,
+        params=params,
+    )
+
+
+def add_cmos_receiver(
+    circuit: Circuit,
+    name: str,
+    port_node: str,
+    params: ReferenceDeviceParameters | None = None,
+) -> CmosReceiverCircuit:
+    """Instantiate the transistor-level CMOS receiver input stage into ``circuit``."""
+    params = params or ReferenceDeviceParameters()
+    vdd_node = f"{name}_vdd"
+
+    circuit.add(VoltageSource(f"{name}_vsup", vdd_node, GROUND, params.vdd))
+    circuit.add(Capacitor(f"{name}_cin", port_node, GROUND, params.c_in))
+    circuit.add(Resistor(f"{name}_rleak", port_node, GROUND, 1.0 / params.g_in))
+    circuit.add(
+        Diode(
+            f"{name}_desd_up", port_node, vdd_node,
+            saturation_current=params.diode_is,
+            emission_coefficient=params.diode_n,
+            thermal_voltage=params.vt_thermal,
+        )
+    )
+    circuit.add(
+        Diode(
+            f"{name}_desd_dn", GROUND, port_node,
+            saturation_current=params.diode_is,
+            emission_coefficient=params.diode_n,
+            thermal_voltage=params.vt_thermal,
+        )
+    )
+    return CmosReceiverCircuit(
+        name=name, port_node=port_node, supply_node=vdd_node, params=params
+    )

@@ -1,0 +1,73 @@
+"""Junction diode model.
+
+Used for the clamp/ESD protection devices of the transistor-level CMOS
+driver and receiver (:mod:`repro.circuits.devices`).  The exponential
+characteristic is continued linearly above a forward-bias knee so the
+Newton iteration cannot overflow, mirroring the analytic characteristic in
+:mod:`repro.macromodel.library` (the two must agree for the identification
+round-trip tests to be meaningful).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.elements import Element, StampContext
+
+__all__ = ["Diode"]
+
+
+class Diode(Element):
+    """An exponential diode between anode and cathode.
+
+    Parameters
+    ----------
+    saturation_current:
+        Reverse saturation current ``Is`` in amperes.
+    emission_coefficient:
+        Ideality factor ``n``.
+    thermal_voltage:
+        ``kT/q`` in volts.
+    knee_voltage:
+        Forward bias above which the characteristic is continued linearly
+        (keeps the Newton iteration well-behaved for large overdrive).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        anode: str,
+        cathode: str,
+        saturation_current: float = 1e-14,
+        emission_coefficient: float = 1.3,
+        thermal_voltage: float = 0.02585,
+        knee_voltage: float = 0.9,
+    ):
+        super().__init__(name, (anode, cathode))
+        if saturation_current <= 0:
+            raise ValueError("saturation_current must be positive")
+        self.saturation_current = float(saturation_current)
+        self.n_vt = float(emission_coefficient) * float(thermal_voltage)
+        self.knee_voltage = float(knee_voltage)
+
+    def current_and_conductance(self, vd: float) -> tuple[float, float]:
+        """Diode current and small-signal conductance at bias ``vd``."""
+        if vd <= self.knee_voltage:
+            expo = math.exp(vd / self.n_vt)
+            i = self.saturation_current * (expo - 1.0)
+            g = self.saturation_current * expo / self.n_vt
+        else:
+            expo = math.exp(self.knee_voltage / self.n_vt)
+            g = self.saturation_current * expo / self.n_vt
+            i_knee = self.saturation_current * (expo - 1.0)
+            i = i_knee + g * (vd - self.knee_voltage)
+        return i, g
+
+    def stamp(self, A, rhs, x, ctx: StampContext) -> None:
+        anode, cathode = self.nodes
+        vd = ctx.node_voltage(x, anode) - ctx.node_voltage(x, cathode)
+        i, g = self.current_and_conductance(vd)
+        # Norton companion: i(v) ~= g v + (i - g vd)
+        i_eq = i - g * vd
+        self._stamp_conductance(A, ctx, anode, cathode, g)
+        self._stamp_current(rhs, ctx, anode, cathode, i_eq)

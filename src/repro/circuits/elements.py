@@ -1,0 +1,256 @@
+"""Linear circuit elements and their MNA stamps.
+
+Every element implements the small stamping interface used by the transient
+solver (:mod:`repro.circuits.transient`):
+
+* ``nodes`` — tuple of node names the element connects to;
+* ``n_branch_currents`` — number of extra current unknowns it needs;
+* ``stamp(A, rhs, x, ctx)`` — add the element's linearised contribution for
+  the candidate solution ``x`` at the time step described by ``ctx``;
+* ``accept(x, ctx)`` — update internal state once the step has converged;
+* ``reset()`` — clear state before a new transient run.
+
+Dynamic elements (capacitors, inductors) use trapezoidal companion models
+by default, with backward Euler available through the solver options.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = [
+    "Element",
+    "StampContext",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+]
+
+
+class StampContext:
+    """Per-step information handed to the element stamps.
+
+    Attributes
+    ----------
+    compiled:
+        The :class:`~repro.circuits.netlist.CompiledCircuit` with the index
+        maps.
+    dt:
+        Time step of the transient run.
+    t:
+        Absolute time of the step being solved (``t^{n+1}``).
+    method:
+        Integration method, ``"trapezoidal"`` or ``"backward_euler"``.
+    """
+
+    def __init__(self, compiled, dt: float, t: float, method: str):
+        self.compiled = compiled
+        self.dt = dt
+        self.t = t
+        self.method = method
+
+    def node_voltage(self, x, node: str) -> float:
+        """Candidate voltage of a node (0 for ground)."""
+        return self.compiled.voltage_of(x, node)
+
+
+class Element:
+    """Base class providing the default (empty) hooks."""
+
+    #: extra current unknowns required by this element
+    n_branch_currents = 0
+
+    def __init__(self, name: str, nodes: tuple[str, ...]):
+        self.name = name
+        self.nodes = tuple(nodes)
+
+    def stamp(self, A, rhs, x, ctx: StampContext) -> None:
+        raise NotImplementedError
+
+    def accept(self, x, ctx: StampContext) -> None:
+        """Hook called after a time step has converged (default: no state)."""
+
+    def reset(self) -> None:
+        """Hook called before a transient run (default: no state)."""
+
+    # -- stamping helpers -------------------------------------------------
+    @staticmethod
+    def _add(A, i, j, value: float) -> None:
+        if i is not None and j is not None:
+            A[i, j] += value
+
+    @staticmethod
+    def _add_rhs(rhs, i, value: float) -> None:
+        if i is not None:
+            rhs[i] += value
+
+    def _stamp_conductance(self, A, ctx, node_a: str, node_b: str, g: float) -> None:
+        ia = ctx.compiled.index_of(node_a)
+        ib = ctx.compiled.index_of(node_b)
+        self._add(A, ia, ia, g)
+        self._add(A, ib, ib, g)
+        self._add(A, ia, ib, -g)
+        self._add(A, ib, ia, -g)
+
+    def _stamp_current(self, rhs, ctx, node_a: str, node_b: str, i_ab: float) -> None:
+        """Stamp a current ``i_ab`` flowing from ``node_a`` to ``node_b``."""
+        ia = ctx.compiled.index_of(node_a)
+        ib = ctx.compiled.index_of(node_b)
+        self._add_rhs(rhs, ia, -i_ab)
+        self._add_rhs(rhs, ib, i_ab)
+
+
+class Resistor(Element):
+    """A linear resistor between two nodes."""
+
+    def __init__(self, name: str, node_a: str, node_b: str, resistance: float):
+        super().__init__(name, (node_a, node_b))
+        if resistance <= 0:
+            raise ValueError("resistance must be positive")
+        self.resistance = float(resistance)
+
+    def stamp(self, A, rhs, x, ctx: StampContext) -> None:
+        self._stamp_conductance(A, ctx, self.nodes[0], self.nodes[1], 1.0 / self.resistance)
+
+
+class Capacitor(Element):
+    """A linear capacitor with trapezoidal / backward-Euler companion model."""
+
+    def __init__(self, name: str, node_a: str, node_b: str, capacitance: float, v0: float = 0.0):
+        super().__init__(name, (node_a, node_b))
+        if capacitance < 0:
+            raise ValueError("capacitance must be non-negative")
+        self.capacitance = float(capacitance)
+        self.v0 = float(v0)
+        self.reset()
+
+    def reset(self) -> None:
+        self._v_prev = self.v0
+        self._i_prev = 0.0
+
+    def _geq(self, ctx: StampContext) -> float:
+        if ctx.method == "trapezoidal":
+            return 2.0 * self.capacitance / ctx.dt
+        return self.capacitance / ctx.dt
+
+    def stamp(self, A, rhs, x, ctx: StampContext) -> None:
+        geq = self._geq(ctx)
+        if ctx.method == "trapezoidal":
+            i_hist = -geq * self._v_prev - self._i_prev
+        else:
+            i_hist = -geq * self._v_prev
+        a, b = self.nodes
+        self._stamp_conductance(A, ctx, a, b, geq)
+        self._stamp_current(rhs, ctx, a, b, i_hist)
+
+    def accept(self, x, ctx: StampContext) -> None:
+        a, b = self.nodes
+        v_new = ctx.node_voltage(x, a) - ctx.node_voltage(x, b)
+        geq = self._geq(ctx)
+        if ctx.method == "trapezoidal":
+            i_new = geq * (v_new - self._v_prev) - self._i_prev
+        else:
+            i_new = geq * (v_new - self._v_prev)
+        self._v_prev = v_new
+        self._i_prev = i_new
+
+
+class Inductor(Element):
+    """A linear inductor (one extra branch-current unknown)."""
+
+    n_branch_currents = 1
+
+    def __init__(self, name: str, node_a: str, node_b: str, inductance: float, i0: float = 0.0):
+        super().__init__(name, (node_a, node_b))
+        if inductance <= 0:
+            raise ValueError("inductance must be positive")
+        self.inductance = float(inductance)
+        self.i0 = float(i0)
+        self.reset()
+
+    def reset(self) -> None:
+        self._i_prev = self.i0
+        self._v_prev = 0.0
+
+    def stamp(self, A, rhs, x, ctx: StampContext) -> None:
+        a, b = self.nodes
+        ia = ctx.compiled.index_of(a)
+        ib = ctx.compiled.index_of(b)
+        j = ctx.compiled.branch_index(self.name)
+        # KCL: branch current leaves node a, enters node b.
+        self._add(A, ia, j, 1.0)
+        self._add(A, ib, j, -1.0)
+        # Branch equation.
+        if ctx.method == "trapezoidal":
+            req = 2.0 * self.inductance / ctx.dt
+            v_hist = -req * self._i_prev - self._v_prev
+        else:
+            req = self.inductance / ctx.dt
+            v_hist = -req * self._i_prev
+        self._add(A, j, ia, 1.0)
+        self._add(A, j, ib, -1.0)
+        self._add(A, j, j, -req)
+        self._add_rhs(rhs, j, v_hist)
+
+    def accept(self, x, ctx: StampContext) -> None:
+        a, b = self.nodes
+        j = ctx.compiled.branch_index(self.name)
+        self._i_prev = float(x[j])
+        self._v_prev = ctx.node_voltage(x, a) - ctx.node_voltage(x, b)
+
+
+class VoltageSource(Element):
+    """An independent voltage source driven by a waveform ``v(t)``.
+
+    The waveform may be a constant float or any callable of time (the
+    :mod:`repro.waveforms` objects plug in directly).  The branch current is
+    defined flowing from the positive node *through the source* to the
+    negative node.
+    """
+
+    n_branch_currents = 1
+
+    def __init__(self, name: str, node_plus: str, node_minus: str, waveform):
+        super().__init__(name, (node_plus, node_minus))
+        if callable(waveform):
+            self.waveform: Callable[[float], float] = waveform
+        else:
+            value = float(waveform)
+            self.waveform = lambda t, _value=value: _value
+
+    def value(self, t: float) -> float:
+        """Source voltage at time ``t``."""
+        return float(self.waveform(t))
+
+    def stamp(self, A, rhs, x, ctx: StampContext) -> None:
+        a, b = self.nodes
+        ia = ctx.compiled.index_of(a)
+        ib = ctx.compiled.index_of(b)
+        j = ctx.compiled.branch_index(self.name)
+        self._add(A, ia, j, 1.0)
+        self._add(A, ib, j, -1.0)
+        self._add(A, j, ia, 1.0)
+        self._add(A, j, ib, -1.0)
+        self._add_rhs(rhs, j, self.value(ctx.t))
+
+
+class CurrentSource(Element):
+    """An independent current source (positive current from + node to - node)."""
+
+    def __init__(self, name: str, node_plus: str, node_minus: str, waveform):
+        super().__init__(name, (node_plus, node_minus))
+        if callable(waveform):
+            self.waveform: Callable[[float], float] = waveform
+        else:
+            value = float(waveform)
+            self.waveform = lambda t, _value=value: _value
+
+    def value(self, t: float) -> float:
+        """Source current at time ``t``."""
+        return float(self.waveform(t))
+
+    def stamp(self, A, rhs, x, ctx: StampContext) -> None:
+        a, b = self.nodes
+        self._stamp_current(rhs, ctx, a, b, self.value(ctx.t))

@@ -1,0 +1,129 @@
+"""Level-1 (Shichman-Hodges) MOSFET model.
+
+The paper's devices are "detailed transistor-level models" of a 1.8 V
+high-speed CMOS technology.  This reproduction's substitute devices are
+built from level-1 MOSFETs: a square-law characteristic with cutoff, triode
+and saturation regions plus channel-length modulation.  Gate capacitances
+are added as explicit linear capacitors by the device builders in
+:mod:`repro.circuits.devices`, keeping this element purely static.
+
+The element is stamped from the channel current ``I_DS`` (defined flowing
+from the drain node to the source node) and its partial derivatives with
+respect to the three terminal voltages, which makes the Newton companion
+model a straightforward three-terminal Norton stamp for both polarities and
+both signs of the drain-source voltage (the device is treated as symmetric).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.elements import Element, StampContext
+
+__all__ = ["Mosfet", "level1_drain_current"]
+
+
+def level1_drain_current(
+    vgs: float, vds: float, k: float, vt: float, lam: float
+) -> tuple[float, float, float]:
+    """Level-1 drain current and its partial derivatives (``vds >= 0``).
+
+    Returns ``(ids, gm, gds)`` with ``gm = d ids / d vgs`` and
+    ``gds = d ids / d vds``.
+    """
+    vov = vgs - vt
+    if vov <= 0.0:
+        return 0.0, 0.0, 0.0
+    clm = 1.0 + lam * vds
+    if vds < vov:
+        # triode region
+        base = k * (vov * vds - 0.5 * vds * vds)
+        ids = base * clm
+        gm = k * vds * clm
+        gds = k * (vov - vds) * clm + base * lam
+    else:
+        # saturation region
+        base = 0.5 * k * vov * vov
+        ids = base * clm
+        gm = k * vov * clm
+        gds = base * lam
+    return ids, gm, gds
+
+
+class Mosfet(Element):
+    """A level-1 MOSFET (drain, gate, source), n- or p-channel.
+
+    Parameters
+    ----------
+    polarity:
+        ``"n"`` or ``"p"``.
+    k:
+        Transconductance factor ``mu Cox W / L`` in A/V^2.
+    vt:
+        Threshold voltage magnitude (positive for both polarities).
+    lam:
+        Channel-length modulation parameter (1/V).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        polarity: str = "n",
+        k: float = 0.05,
+        vt: float = 0.4,
+        lam: float = 0.05,
+    ):
+        super().__init__(name, (drain, gate, source))
+        if polarity not in ("n", "p"):
+            raise ValueError("polarity must be 'n' or 'p'")
+        if k <= 0 or vt <= 0:
+            raise ValueError("k and vt must be positive")
+        self.polarity = polarity
+        self.k = float(k)
+        self.vt = float(vt)
+        self.lam = float(lam)
+
+    def current_and_derivatives(
+        self, vd: float, vg: float, vs: float
+    ) -> tuple[float, float, float, float]:
+        """Channel current ``I_DS`` (drain -> source) and its derivatives.
+
+        Returns ``(i_ds, d/dvd, d/dvg, d/dvs)``.  The four combinations of
+        polarity and terminal swap are reduced to the single canonical
+        level-1 evaluation with ``vds >= 0``.
+        """
+        if self.polarity == "n":
+            if vd >= vs:
+                ids, gm, gds = level1_drain_current(vg - vs, vd - vs, self.k, self.vt, self.lam)
+                return ids, gds, gm, -(gm + gds)
+            ids, gm, gds = level1_drain_current(vg - vd, vs - vd, self.k, self.vt, self.lam)
+            return -ids, (gm + gds), -gm, -gds
+        # p-channel
+        if vs >= vd:
+            ids, gm, gds = level1_drain_current(vs - vg, vs - vd, self.k, self.vt, self.lam)
+            return -ids, gds, gm, -(gm + gds)
+        ids, gm, gds = level1_drain_current(vd - vg, vd - vs, self.k, self.vt, self.lam)
+        return ids, (gm + gds), -gm, -gds
+
+    def stamp(self, A, rhs, x, ctx: StampContext) -> None:
+        drain, gate, source = self.nodes
+        vd = ctx.node_voltage(x, drain)
+        vg = ctx.node_voltage(x, gate)
+        vs = ctx.node_voltage(x, source)
+        i_ds, d_vd, d_vg, d_vs = self.current_and_derivatives(vd, vg, vs)
+
+        idx = ctx.compiled.index_of
+        i_d, i_g, i_s = idx(drain), idx(gate), idx(source)
+        i_eq = i_ds - d_vd * vd - d_vg * vg - d_vs * vs
+
+        # KCL at drain: ... + I_DS(v) = 0 ; at source: ... - I_DS(v) = 0.
+        self._add(A, i_d, i_d, d_vd)
+        self._add(A, i_d, i_g, d_vg)
+        self._add(A, i_d, i_s, d_vs)
+        self._add_rhs(rhs, i_d, -i_eq)
+
+        self._add(A, i_s, i_d, -d_vd)
+        self._add(A, i_s, i_g, -d_vg)
+        self._add(A, i_s, i_s, -d_vs)
+        self._add_rhs(rhs, i_s, i_eq)

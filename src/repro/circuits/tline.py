@@ -1,0 +1,116 @@
+"""Ideal lossless transmission line (method of characteristics).
+
+The paper's circuit-level references use an "ideal TL" between the driver
+and the load.  This element implements the classic Branin / method-of-
+characteristics model: each port is a Thevenin equivalent consisting of the
+characteristic impedance in series with a history voltage source that
+replays the wave launched from the opposite port one line delay earlier,
+
+    v1(t) - Z0 i1(t) = v2(t - Td) + Z0 i2(t - Td)
+    v2(t) - Z0 i2(t) = v1(t - Td) + Z0 i1(t - Td)
+
+with ``i1``, ``i2`` the currents flowing *into* the line at each port.  The
+element stores the accepted port waveforms and interpolates them at
+``t - Td``; before the first stored sample the line is assumed to be in the
+(user-providable) initial steady state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.elements import Element, StampContext
+
+__all__ = ["IdealTransmissionLine"]
+
+
+class IdealTransmissionLine(Element):
+    """A lossless two-port transmission line.
+
+    Parameters
+    ----------
+    port1_plus, port1_minus, port2_plus, port2_minus:
+        The four terminal nodes.
+    z0:
+        Characteristic impedance (ohms).
+    delay:
+        One-way propagation delay (seconds).
+    v_initial:
+        Initial (pre-``t=0``) voltage of the whole line; the paper's '010'
+        pattern starts in the LOW state, so the default of 0 V matches the
+        validation setup.
+    """
+
+    n_branch_currents = 2
+
+    def __init__(
+        self,
+        name: str,
+        port1_plus: str,
+        port1_minus: str,
+        port2_plus: str,
+        port2_minus: str,
+        z0: float,
+        delay: float,
+        v_initial: float = 0.0,
+    ):
+        super().__init__(name, (port1_plus, port1_minus, port2_plus, port2_minus))
+        if z0 <= 0 or delay <= 0:
+            raise ValueError("z0 and delay must be positive")
+        self.z0 = float(z0)
+        self.delay = float(delay)
+        self.v_initial = float(v_initial)
+        self.reset()
+
+    def reset(self) -> None:
+        self._times: list[float] = []
+        self._wave_from_1: list[float] = []  # v1 + Z0 i1 history
+        self._wave_from_2: list[float] = []  # v2 + Z0 i2 history
+
+    def _history(self, values: list[float], t: float) -> float:
+        """Interpolated incident wave at time ``t`` (initial state before t=0)."""
+        if not self._times or t <= self._times[0]:
+            return self.v_initial
+        if t >= self._times[-1]:
+            return values[-1]
+        return float(np.interp(t, self._times, values))
+
+    def incident_voltages(self, t: float) -> tuple[float, float]:
+        """The two history sources ``E1(t)`` and ``E2(t)`` at time ``t``."""
+        e1 = self._history(self._wave_from_2, t - self.delay)
+        e2 = self._history(self._wave_from_1, t - self.delay)
+        return e1, e2
+
+    def stamp(self, A, rhs, x, ctx: StampContext) -> None:
+        p1p, p1m, p2p, p2m = self.nodes
+        idx = ctx.compiled.index_of
+        j1 = ctx.compiled.branch_index(self.name, 0)
+        j2 = ctx.compiled.branch_index(self.name, 1)
+        e1, e2 = self.incident_voltages(ctx.t)
+
+        # KCL contributions: i1 flows into port-1 + terminal, out of - terminal.
+        self._add(A, idx(p1p), j1, 1.0)
+        self._add(A, idx(p1m), j1, -1.0)
+        self._add(A, idx(p2p), j2, 1.0)
+        self._add(A, idx(p2m), j2, -1.0)
+
+        # Port characteristic rows.
+        self._add(A, j1, idx(p1p), 1.0)
+        self._add(A, j1, idx(p1m), -1.0)
+        self._add(A, j1, j1, -self.z0)
+        self._add_rhs(rhs, j1, e1)
+
+        self._add(A, j2, idx(p2p), 1.0)
+        self._add(A, j2, idx(p2m), -1.0)
+        self._add(A, j2, j2, -self.z0)
+        self._add_rhs(rhs, j2, e2)
+
+    def accept(self, x, ctx: StampContext) -> None:
+        p1p, p1m, p2p, p2m = self.nodes
+        v1 = ctx.node_voltage(x, p1p) - ctx.node_voltage(x, p1m)
+        v2 = ctx.node_voltage(x, p2p) - ctx.node_voltage(x, p2m)
+        i1 = float(x[ctx.compiled.branch_index(self.name, 0)])
+        i2 = float(x[ctx.compiled.branch_index(self.name, 1)])
+        self._times.append(ctx.t)
+        self._wave_from_1.append(v1 + self.z0 * i1)
+        self._wave_from_2.append(v2 + self.z0 * i2)

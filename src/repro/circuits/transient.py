@@ -1,0 +1,244 @@
+"""Newton-Raphson transient solver for the circuit substrate.
+
+The solver advances the Modified Nodal Analysis system with a fixed time
+step.  At every step the nonlinear elements (diodes, MOSFETs, RBF
+macromodels) are iterated to convergence by rebuilding their Norton
+companion stamps around the current candidate solution; dynamic elements
+use trapezoidal (default) or backward-Euler companion models.  A small
+``gmin`` conductance from every node to ground keeps the Jacobian
+well-conditioned for nodes that would otherwise float (e.g. MOSFET gates).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time as _time
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.elements import StampContext
+from repro.circuits.netlist import Circuit, CompiledCircuit, GROUND
+
+__all__ = ["TransientOptions", "CircuitResult", "TransientSolver"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TransientOptions:
+    """Settings of the transient solver.
+
+    Attributes
+    ----------
+    method:
+        Integration method for dynamic elements, ``"trapezoidal"`` or
+        ``"backward_euler"``.
+    max_newton_iterations:
+        Iteration cap per time step.
+    abstol_v:
+        Convergence threshold on node-voltage updates (volts).
+    abstol_i:
+        Convergence threshold on branch-current updates (amperes).
+    gmin:
+        Conductance to ground added on every node.
+    max_delta_v:
+        Per-iteration cap on node-voltage updates (simple damping for the
+        exponential devices).
+    """
+
+    method: str = "trapezoidal"
+    max_newton_iterations: int = 100
+    abstol_v: float = 1e-9
+    abstol_i: float = 1e-12
+    gmin: float = 1e-12
+    max_delta_v: float = 1.0
+
+    def __post_init__(self):
+        if self.method not in ("trapezoidal", "backward_euler"):
+            raise ValueError("method must be 'trapezoidal' or 'backward_euler'")
+
+
+@dataclasses.dataclass
+class CircuitResult:
+    """Result of a transient circuit run.
+
+    Attributes
+    ----------
+    times:
+        Time axis (including ``t = 0``).
+    node_voltages:
+        Mapping node name -> waveform.
+    branch_currents:
+        Mapping ``"element_name[k]"`` -> waveform for every extra branch
+        current unknown.
+    newton_iterations:
+        Per-step Newton iteration counts.
+    wall_time:
+        Wall-clock duration of the run in seconds.
+    """
+
+    times: np.ndarray
+    node_voltages: Dict[str, np.ndarray]
+    branch_currents: Dict[str, np.ndarray]
+    newton_iterations: np.ndarray
+    wall_time: float = 0.0
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Waveform of a node voltage (ground returns zeros)."""
+        if node == GROUND:
+            return np.zeros_like(self.times)
+        if node not in self.node_voltages:
+            raise KeyError(
+                f"node {node!r} was not recorded; available: {sorted(self.node_voltages)}"
+            )
+        return self.node_voltages[node]
+
+    def branch_current(self, element_name: str, k: int = 0) -> np.ndarray:
+        """Waveform of the ``k``-th branch current of an element."""
+        key = f"{element_name}[{k}]"
+        if key not in self.branch_currents:
+            raise KeyError(
+                f"branch current {key!r} was not recorded; "
+                f"available: {sorted(self.branch_currents)}"
+            )
+        return self.branch_currents[key]
+
+
+class TransientSolver:
+    """Fixed-step Newton-Raphson transient solver."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        dt: float,
+        options: TransientOptions | None = None,
+    ):
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.circuit = circuit
+        self.dt = float(dt)
+        self.options = options or TransientOptions()
+        self.compiled: CompiledCircuit = circuit.compile()
+
+    # -- assembly ---------------------------------------------------------
+    def _assemble(self, x: np.ndarray, t: float) -> tuple[np.ndarray, np.ndarray, StampContext]:
+        n = self.compiled.n_unknowns
+        A = np.zeros((n, n))
+        rhs = np.zeros(n)
+        ctx = StampContext(self.compiled, self.dt, t, self.options.method)
+        for element in self.circuit.elements:
+            element.stamp(A, rhs, x, ctx)
+        # gmin from every node to ground
+        for k in range(self.compiled.n_nodes):
+            A[k, k] += self.options.gmin
+        return A, rhs, ctx
+
+    def _solve_step(self, x_prev: np.ndarray, t: float) -> tuple[np.ndarray, int, StampContext]:
+        opts = self.options
+        x = x_prev.copy()
+        ctx = None
+        for iteration in range(1, opts.max_newton_iterations + 1):
+            A, rhs, ctx = self._assemble(x, t)
+            try:
+                x_new = np.linalg.solve(A, rhs)
+            except np.linalg.LinAlgError:
+                x_new = np.linalg.lstsq(A, rhs, rcond=None)[0]
+            delta = x_new - x
+            # damp node-voltage updates
+            dv = delta[: self.compiled.n_nodes]
+            if dv.size and np.max(np.abs(dv)) > opts.max_delta_v:
+                scale = opts.max_delta_v / np.max(np.abs(dv))
+                delta = delta * scale
+                x = x + delta
+                continue
+            x = x_new
+            di = delta[self.compiled.n_nodes :]
+            v_ok = dv.size == 0 or np.max(np.abs(dv)) < opts.abstol_v
+            i_ok = di.size == 0 or np.max(np.abs(di)) < opts.abstol_i
+            if v_ok and i_ok:
+                return x, iteration, ctx
+        return x, opts.max_newton_iterations, ctx
+
+    # -- public API -------------------------------------------------------
+    def run(
+        self,
+        duration: float,
+        record_nodes: Optional[Iterable[str]] = None,
+        record_branches: Optional[Sequence[tuple[str, int]]] = None,
+        initial_voltages: Optional[Dict[str, float]] = None,
+    ) -> CircuitResult:
+        """Run a transient of the given duration.
+
+        Parameters
+        ----------
+        duration:
+            Simulated time span (seconds); the number of steps is
+            ``round(duration / dt)``.
+        record_nodes:
+            Node names to record (default: every node).
+        record_branches:
+            ``(element_name, k)`` pairs of branch currents to record
+            (default: every branch unknown).
+        initial_voltages:
+            Optional initial node voltages (default 0 V everywhere); useful
+            for starting from an approximate DC state.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        start = _time.perf_counter()
+        compiled = self.compiled
+        n_steps = int(round(duration / self.dt))
+        times = self.dt * np.arange(n_steps + 1)
+
+        for element in self.circuit.elements:
+            element.reset()
+
+        x = np.zeros(compiled.n_unknowns)
+        if initial_voltages:
+            for node, value in initial_voltages.items():
+                idx = compiled.index_of(node)
+                if idx is not None:
+                    x[idx] = value
+
+        if record_nodes is None:
+            record_nodes = list(compiled.node_index)
+        record_nodes = [n for n in record_nodes if n != GROUND]
+        if record_branches is None:
+            record_branches = [
+                (name, k)
+                for name, offset in compiled.branch_offset.items()
+                for k in range(
+                    next(
+                        el.n_branch_currents
+                        for el in self.circuit.elements
+                        if el.name == name
+                    )
+                )
+            ]
+
+        voltages = {n: np.zeros(n_steps + 1) for n in record_nodes}
+        currents = {f"{name}[{k}]": np.zeros(n_steps + 1) for name, k in record_branches}
+        iterations = np.zeros(n_steps + 1, dtype=int)
+
+        def record(step: int, vec: np.ndarray) -> None:
+            for node in record_nodes:
+                voltages[node][step] = compiled.voltage_of(vec, node)
+            for name, k in record_branches:
+                currents[f"{name}[{k}]"][step] = vec[compiled.branch_index(name, k)]
+
+        record(0, x)
+
+        for step in range(1, n_steps + 1):
+            t = times[step]
+            x, n_iter, ctx = self._solve_step(x, t)
+            iterations[step] = n_iter
+            for element in self.circuit.elements:
+                element.accept(x, ctx)
+            record(step, x)
+
+        return CircuitResult(
+            times=times,
+            node_voltages=voltages,
+            branch_currents=currents,
+            newton_iterations=iterations,
+            wall_time=_time.perf_counter() - start,
+        )

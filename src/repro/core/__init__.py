@@ -1,0 +1,70 @@
+"""Hybridisation of FDTD and RBF macromodelling (paper Section 3).
+
+This package is the paper's primary contribution:
+
+* :mod:`repro.core.resampling` — the discrete → continuous → discrete time
+  conversion of Eq. (13) that lets a macromodel identified at sampling time
+  ``Ts`` run at an arbitrary solver time step ``dt`` (the banded ``Q``
+  matrix, the resampling factor ``tau = dt/Ts``).
+* :mod:`repro.core.stability` — the eigenvalue analysis of Section 3.1 and
+  Figure 2 proving that resampling preserves stability when ``tau <= 1``.
+* :mod:`repro.core.newton` — the damped Newton-Raphson scalar solver with
+  iteration bookkeeping (the paper reports convergence in at most three
+  iterations at a 1e-9 tolerance).
+* :mod:`repro.core.ports` — the lumped-termination abstraction shared by
+  the circuit, 1-D FDTD and 3-D FDTD backends (resistors, RC loads,
+  resistive sources and resampled macromodel ports).
+* :mod:`repro.core.lumped_rbf` — the coupled cell update of Eq. (8) + (13):
+  given the field-side coefficients of the modified Maxwell-Ampère
+  equation, solve for the new port voltage with the termination's analytic
+  Jacobian.
+* :mod:`repro.core.cosim` — engine-agnostic result containers and link
+  descriptions used by the experiment harness.
+"""
+
+from repro.core.resampling import (
+    ResampledPortModel,
+    continuous_eigenvalue,
+    resampled_eigenvalue,
+    resampling_matrix,
+)
+from repro.core.stability import (
+    StabilityRegion,
+    resampled_stability_region,
+    is_resampling_stable,
+    simulate_scalar_test_problem,
+)
+from repro.core.newton import NewtonOptions, NewtonStats, newton_solve_scalar
+from repro.core.ports import (
+    LumpedTermination,
+    MacromodelTermination,
+    OpenTermination,
+    ParallelRCTermination,
+    ResistorTermination,
+    ResistiveSourceTermination,
+)
+from repro.core.lumped_rbf import HybridCellUpdate
+from repro.core.cosim import LinkDescription, SimulationResult
+
+__all__ = [
+    "ResampledPortModel",
+    "continuous_eigenvalue",
+    "resampled_eigenvalue",
+    "resampling_matrix",
+    "StabilityRegion",
+    "resampled_stability_region",
+    "is_resampling_stable",
+    "simulate_scalar_test_problem",
+    "NewtonOptions",
+    "NewtonStats",
+    "newton_solve_scalar",
+    "LumpedTermination",
+    "MacromodelTermination",
+    "OpenTermination",
+    "ParallelRCTermination",
+    "ResistorTermination",
+    "ResistiveSourceTermination",
+    "HybridCellUpdate",
+    "LinkDescription",
+    "SimulationResult",
+]

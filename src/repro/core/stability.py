@@ -1,0 +1,139 @@
+"""Stability analysis of the resampling procedure (paper Section 3.1, Fig. 2).
+
+The scalar test problem ``zeta^{m+1} = lambda zeta^m`` with ``|lambda| < 1``
+captures the behaviour of every eigenmode of a stable macromodel.  The
+discrete→continuous conversion maps ``lambda`` to ``eta = (lambda-1)/Ts``
+(left half plane); the continuous→discrete conversion at the solver step
+``dt`` maps it to ``lambda_tilde = 1 + tau (lambda-1)``, a disc centred at
+``1 - tau`` with radius ``tau``.  Stability of the resampled system
+(``|lambda_tilde| < 1``) therefore holds exactly when ``tau <= 1``
+(strictly, for ``tau <= 1`` the image disc lies inside the closed unit
+disc and touches it only at ``lambda = 1``, which the original stability
+assumption excludes).
+
+This module computes the three eigenvalue pictures of Figure 2 and offers a
+brute-force time-domain check (:func:`simulate_scalar_test_problem`) used by
+the property-based tests and by the tau-sweep ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.resampling import continuous_eigenvalue, resampled_eigenvalue
+
+__all__ = [
+    "StabilityRegion",
+    "unit_disc_samples",
+    "resampled_stability_region",
+    "is_resampling_stable",
+    "simulate_scalar_test_problem",
+    "figure2_data",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class StabilityRegion:
+    """Eigenvalue images of the scalar test problem for one value of ``tau``.
+
+    Attributes
+    ----------
+    discrete:
+        Samples of the original eigenvalues ``lambda`` (inside the unit disc).
+    continuous:
+        Their continuous-time images ``eta`` (Eq. 15).
+    resampled:
+        Their resampled images ``lambda_tilde`` (Eq. 16).
+    tau:
+        Resampling factor ``dt / Ts``.
+    sampling_time:
+        Macromodel sampling time ``Ts`` used for the continuous map.
+    """
+
+    discrete: np.ndarray
+    continuous: np.ndarray
+    resampled: np.ndarray
+    tau: float
+    sampling_time: float
+
+    @property
+    def circle_center(self) -> float:
+        """Centre ``1 - tau`` of the resampled-eigenvalue disc (Fig. 2, right)."""
+        return 1.0 - self.tau
+
+    @property
+    def circle_radius(self) -> float:
+        """Radius ``tau`` of the resampled-eigenvalue disc."""
+        return self.tau
+
+    @property
+    def all_resampled_stable(self) -> bool:
+        """True when every resampled eigenvalue has magnitude below one."""
+        return bool(np.all(np.abs(self.resampled) < 1.0 + 1e-12))
+
+
+def unit_disc_samples(n_radial: int = 12, n_angular: int = 48) -> np.ndarray:
+    """Deterministic sample grid of the open unit disc (the ``lambda`` values)."""
+    radii = np.linspace(0.05, 0.98, n_radial)
+    angles = np.linspace(0.0, 2.0 * np.pi, n_angular, endpoint=False)
+    grid = radii[:, None] * np.exp(1j * angles[None, :])
+    return grid.ravel()
+
+
+def resampled_stability_region(
+    tau: float,
+    sampling_time: float = 1.0,
+    n_radial: int = 12,
+    n_angular: int = 48,
+) -> StabilityRegion:
+    """Compute the three eigenvalue pictures of Figure 2 for one ``tau``."""
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+    lam = unit_disc_samples(n_radial, n_angular)
+    eta = np.array([continuous_eigenvalue(l, sampling_time) for l in lam])
+    lam_tilde = np.array([resampled_eigenvalue(l, tau) for l in lam])
+    return StabilityRegion(
+        discrete=lam,
+        continuous=eta,
+        resampled=lam_tilde,
+        tau=float(tau),
+        sampling_time=float(sampling_time),
+    )
+
+
+def is_resampling_stable(tau: float) -> bool:
+    """The paper's criterion (Eq. 17): the resampling is stable iff ``tau <= 1``."""
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+    return tau <= 1.0
+
+
+def simulate_scalar_test_problem(
+    lam: complex, tau: float, n_steps: int = 400, z0: complex = 1.0
+) -> np.ndarray:
+    """Time-march the resampled scalar test problem.
+
+    Iterates ``z^{n+1} = lambda_tilde z^n`` with
+    ``lambda_tilde = 1 + tau (lambda - 1)`` and returns the magnitude of the
+    state at every step.  Used to verify empirically that the trajectory is
+    bounded when ``tau <= 1`` and that it can diverge otherwise.
+    """
+    if n_steps < 1:
+        raise ValueError("n_steps must be at least 1")
+    lam_tilde = resampled_eigenvalue(lam, tau)
+    z = complex(z0)
+    out = np.empty(n_steps)
+    for n in range(n_steps):
+        out[n] = abs(z)
+        z *= lam_tilde
+    return out
+
+
+def figure2_data(
+    taus: tuple[float, ...] = (0.25, 0.5, 1.0),
+    sampling_time: float = 1.0,
+) -> dict[float, StabilityRegion]:
+    """Regions for a set of resampling factors (the Figure 2 reproduction)."""
+    return {tau: resampled_stability_region(tau, sampling_time) for tau in taus}

@@ -1,0 +1,40 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+* :mod:`repro.experiments.devices` — identification of the driver and
+  receiver macromodels from the transistor-level reference devices (the
+  upstream step the paper takes as given).
+* :mod:`repro.experiments.fig2_stability` — the eigenvalue pictures and the
+  ``tau <= 1`` stability criterion of Figure 2.
+* :mod:`repro.experiments.fig4_rc_load` — the four-engine comparison on the
+  validation line with the linear RC load (Figure 4).
+* :mod:`repro.experiments.fig5_rbf_receiver` — the same line loaded by the
+  receiver macromodel (Figure 5).
+* :mod:`repro.experiments.fig7_pcb` — the PCB with and without the incident
+  plane wave (Figure 7).
+* :mod:`repro.experiments.newton_iterations` — the Newton-Raphson iteration
+  count reported in Section 4.
+* :mod:`repro.experiments.reporting` — small helpers to print the
+  paper-style series and the cross-engine agreement metrics.
+"""
+
+from repro.experiments.devices import ReferenceMacromodels, identified_reference_macromodels
+from repro.experiments.fig2_stability import Figure2Result, run_figure2
+from repro.experiments.fig4_rc_load import Figure4Result, run_figure4
+from repro.experiments.fig5_rbf_receiver import Figure5Result, run_figure5
+from repro.experiments.fig7_pcb import Figure7Result, run_figure7
+from repro.experiments.newton_iterations import NewtonIterationResult, run_newton_iteration_study
+
+__all__ = [
+    "ReferenceMacromodels",
+    "identified_reference_macromodels",
+    "Figure2Result",
+    "run_figure2",
+    "Figure4Result",
+    "run_figure4",
+    "Figure5Result",
+    "run_figure5",
+    "Figure7Result",
+    "run_figure7",
+    "NewtonIterationResult",
+    "run_newton_iteration_study",
+]

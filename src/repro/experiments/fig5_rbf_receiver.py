@@ -1,0 +1,78 @@
+"""Figure 5 — validation with the RBF receiver load.
+
+Same transmission-line structure and switching driver as Figure 4, but the
+far end is terminated by "a RBF macromodel of a receiver (same technology
+as the driver)".  The paper overlays the "SPICE (RBF model)" and "3D-FDTD"
+curves; this module runs both (plus, optionally, the transistor-level
+reference, which the paper omits from the figure) and reports the
+agreement between them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.circuits.testbenches import run_link_rbf, run_link_transistor
+from repro.core.cosim import LinkDescription, SimulationResult
+from repro.experiments.devices import ReferenceMacromodels, identified_reference_macromodels
+from repro.experiments.fig4_rc_load import run_fdtd3d_link
+from repro.experiments.reporting import engine_agreement
+from repro.structures.validation_line import ValidationLineStructure, estimate_line_parameters
+
+__all__ = ["Figure5Result", "run_figure5"]
+
+
+@dataclasses.dataclass
+class Figure5Result:
+    """Outcome of the Figure 5 reproduction."""
+
+    results: Dict[str, SimulationResult]
+    z_c: float
+    t_d: float
+    agreement: Dict[str, Dict[str, float]]
+    link: LinkDescription
+
+    @property
+    def engines(self) -> list[str]:
+        """Engine labels present in the result."""
+        return list(self.results)
+
+
+def run_figure5(
+    scale: float = 1.0,
+    use_identification: bool = True,
+    circuit_dt: float = 5e-12,
+    models: Optional[ReferenceMacromodels] = None,
+    include_transistor_reference: bool = True,
+    measure_line: bool = True,
+) -> Figure5Result:
+    """Run the Figure 5 comparison (receiver-loaded line).
+
+    Parameters mirror :func:`repro.experiments.fig4_rc_load.run_figure4`.
+    """
+    structure = ValidationLineStructure.paper() if scale >= 1.0 else ValidationLineStructure.scaled(scale)
+    if measure_line:
+        z_c, t_d = estimate_line_parameters(structure)
+    else:
+        z_c, t_d = 131.0, 0.4e-9 * scale
+    link = LinkDescription(load="receiver", z0=z_c, delay=t_d)
+
+    if models is None:
+        models = identified_reference_macromodels(use_identification=use_identification)
+
+    results: Dict[str, SimulationResult] = {}
+    results["spice-rbf"] = run_link_rbf(
+        link, models.driver, models.receiver, dt=circuit_dt, params=models.params
+    )
+    results["fdtd3d-rbf"] = run_fdtd3d_link(structure, models, link)
+    if include_transistor_reference:
+        results["spice-transistor"] = run_link_transistor(link, models.params, dt=circuit_dt)
+
+    reference = results["spice-rbf"]
+    agreement = {
+        name: engine_agreement(reference, result)
+        for name, result in results.items()
+        if name != "spice-rbf"
+    }
+    return Figure5Result(results=results, z_c=z_c, t_d=t_d, agreement=agreement, link=link)

@@ -1,0 +1,58 @@
+"""Small text-report helpers shared by the experiment scripts and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.cosim import SimulationResult
+from repro.waveforms.analysis import compare_waveforms
+
+__all__ = ["format_table", "engine_agreement", "sample_series"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a plain-text table (no external dependencies)."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    sep = "  "
+    lines = [sep.join(h.ljust(widths[k]) for k, h in enumerate(headers))]
+    lines.append(sep.join("-" * widths[k] for k in range(len(headers))))
+    for row in rows:
+        lines.append(sep.join(cell.ljust(widths[k]) for k, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def engine_agreement(
+    reference: SimulationResult,
+    candidate: SimulationResult,
+    probes: Sequence[str] = ("near_end", "far_end"),
+) -> dict[str, float]:
+    """Relative RMS deviation of each probe, candidate versus reference.
+
+    The candidate waveforms are interpolated onto the reference time axis
+    before comparison (the engines run at different time steps).
+    """
+    out = {}
+    for probe in probes:
+        ref_wave = reference.voltage(probe)
+        cand_wave = candidate.resampled_voltage(probe, reference.times)
+        out[probe] = compare_waveforms(ref_wave, cand_wave).rms_relative
+    return out
+
+
+def sample_series(
+    result: SimulationResult, probe: str, sample_times: Sequence[float]
+) -> np.ndarray:
+    """The probe waveform sampled at a handful of report times."""
+    return result.resampled_voltage(probe, np.asarray(sample_times, dtype=float))

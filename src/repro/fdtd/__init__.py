@@ -1,0 +1,51 @@
+"""Finite-Difference Time-Domain solvers (1-D and 3-D).
+
+The paper embeds RBF macromodels of digital devices inside a conventional
+FDTD full-wave solver.  This package implements the required field
+machinery from scratch:
+
+* :mod:`repro.fdtd.constants`, :mod:`repro.fdtd.courant` — physical
+  constants and the Courant stability limit.
+* :mod:`repro.fdtd.grid` — the Yee grid, material assignment and
+  edge-coefficient construction.
+* :mod:`repro.fdtd.geometry` — PEC geometry helpers (zero-thickness plates,
+  wires, vias, ground planes) used to describe the paper's structures.
+* :mod:`repro.fdtd.boundaries` — first-order Mur absorbing boundaries.
+* :mod:`repro.fdtd.lumped` — lumped elements inside a mesh cell (the
+  modified Maxwell-Ampère update of Eq. 8, solved by the hybrid kernel in
+  :mod:`repro.core.lumped_rbf`).
+* :mod:`repro.fdtd.plane_wave` — plane-wave illumination in the
+  scattered-field formulation (the "external incident field" of Fig. 7).
+* :mod:`repro.fdtd.probes` — voltage/field probes.
+* :mod:`repro.fdtd.solver3d` — the 3-D Yee solver.
+* :mod:`repro.fdtd.solver1d` — the 1-D transmission-line FDTD solver used
+  as the "1D-FDTD" engine of Fig. 4.
+* :mod:`repro.fdtd.farfield` — frequency-domain near-to-far-field
+  post-processing for radiation analysis.
+"""
+
+from repro.fdtd.constants import C0, EPS0, ETA0, MU0
+from repro.fdtd.courant import courant_time_step
+from repro.fdtd.grid import YeeGrid
+from repro.fdtd.boundaries import MurBoundary
+from repro.fdtd.lumped import LumpedElementSite
+from repro.fdtd.plane_wave import PlaneWaveSource
+from repro.fdtd.probes import EdgeVoltageProbe, FieldProbe
+from repro.fdtd.solver3d import FDTD3DSolver
+from repro.fdtd.solver1d import FDTD1DLine
+
+__all__ = [
+    "C0",
+    "EPS0",
+    "MU0",
+    "ETA0",
+    "courant_time_step",
+    "YeeGrid",
+    "MurBoundary",
+    "LumpedElementSite",
+    "PlaneWaveSource",
+    "EdgeVoltageProbe",
+    "FieldProbe",
+    "FDTD3DSolver",
+    "FDTD1DLine",
+]

@@ -1,0 +1,19 @@
+"""Physical constants used by the field solvers (SI units)."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["C0", "EPS0", "MU0", "ETA0"]
+
+#: Speed of light in vacuum [m/s].
+C0 = 299_792_458.0
+
+#: Vacuum permeability [H/m] (pre-2019 defined value, adequate here).
+MU0 = 4.0e-7 * math.pi
+
+#: Vacuum permittivity [F/m].
+EPS0 = 1.0 / (MU0 * C0 * C0)
+
+#: Free-space wave impedance [ohm].
+ETA0 = math.sqrt(MU0 / EPS0)

@@ -1,0 +1,45 @@
+"""Courant-Friedrichs-Lewy stability limit for the Yee scheme.
+
+The FDTD time step is "determined by the spatial mesh size through the
+Courant condition" (paper Section 1); for a uniform Cartesian grid the
+limit is
+
+    dt <= 1 / (c * sqrt(1/dx^2 + 1/dy^2 + 1/dz^2)).
+
+The solvers use a safety factor slightly below one.  Note that for every
+structure of practical interest this step is much smaller than the
+macromodel sampling time ``Ts``, which is why the resampling factor
+``tau = dt/Ts`` of Eq. (17) is comfortably below one.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fdtd.constants import C0
+
+__all__ = ["courant_time_step", "courant_number"]
+
+
+def courant_time_step(
+    dx: float, dy: float | None = None, dz: float | None = None, safety: float = 0.99
+) -> float:
+    """Maximum stable time step for the given mesh, times ``safety``.
+
+    ``dy`` and ``dz`` default to ``dx`` (cubic cells).
+    """
+    if dx <= 0:
+        raise ValueError("dx must be positive")
+    dy = dx if dy is None else dy
+    dz = dx if dz is None else dz
+    if dy <= 0 or dz <= 0:
+        raise ValueError("dy and dz must be positive")
+    if not 0 < safety <= 1:
+        raise ValueError("safety must lie in (0, 1]")
+    limit = 1.0 / (C0 * math.sqrt(1.0 / dx**2 + 1.0 / dy**2 + 1.0 / dz**2))
+    return safety * limit
+
+
+def courant_number(dt: float, dx: float, dy: float | None = None, dz: float | None = None) -> float:
+    """The Courant number ``dt / dt_max``; values above 1 are unstable."""
+    return dt / courant_time_step(dx, dy, dz, safety=1.0)

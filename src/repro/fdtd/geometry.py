@@ -1,0 +1,115 @@
+"""PEC geometry helpers.
+
+The paper's structures are built from zero-thickness perfectly conducting
+strips, full metallisation planes and vias.  These helpers mark the
+corresponding electric-field edges in the grid's PEC masks:
+
+* a *plate* normal to an axis zeroes the two tangential E components lying
+  in its plane;
+* a *wire* along an axis zeroes the E edges along a straight line (used for
+  vias and for the short vertical connections that bring a lumped port
+  across a multi-cell gap);
+* a *box* zeroes everything inside (a solid conductor).
+
+All index arguments are Yee *node* indices (0 .. n along each axis), and
+ranges are half-open over edges, which makes a plate spanning node range
+``[a, b]`` cover ``b - a`` edges.
+"""
+
+from __future__ import annotations
+
+from repro.fdtd.grid import YeeGrid
+
+__all__ = ["add_pec_plate", "add_pec_wire", "add_pec_box", "add_via"]
+
+
+def add_pec_plate(
+    grid: YeeGrid,
+    normal: str,
+    position: int,
+    first_range: tuple[int, int],
+    second_range: tuple[int, int],
+) -> None:
+    """Add a zero-thickness PEC plate.
+
+    Parameters
+    ----------
+    normal:
+        Axis normal to the plate (``'x'``, ``'y'`` or ``'z'``).
+    position:
+        Node index along the normal axis where the plate lies.
+    first_range, second_range:
+        Node-index ranges ``(start, stop)`` along the two in-plane axes in
+        the cyclic order following the normal: for ``normal='z'`` they are
+        the x and y ranges, for ``normal='x'`` the y and z ranges, for
+        ``normal='y'`` the z and x ranges.
+    """
+    a0, a1 = first_range
+    b0, b1 = second_range
+    if a0 >= a1 or b0 >= b1:
+        raise ValueError("ranges must be non-empty (start < stop)")
+    if normal == "z":
+        k = position
+        # tangential components: Ex (edges between x-nodes) and Ey
+        grid.pec_x[a0:a1, b0 : b1 + 1, k] = True
+        grid.pec_y[a0 : a1 + 1, b0:b1, k] = True
+    elif normal == "x":
+        i = position
+        # in-plane axes: y (first) and z (second)
+        grid.pec_y[i, a0:a1, b0 : b1 + 1] = True
+        grid.pec_z[i, a0 : a1 + 1, b0:b1] = True
+    elif normal == "y":
+        j = position
+        # in-plane axes: z (first) and x (second)
+        grid.pec_z[b0 : b1 + 1, j, a0:a1] = True
+        grid.pec_x[b0:b1, j, a0 : a1 + 1] = True
+    else:
+        raise ValueError("normal must be 'x', 'y' or 'z'")
+
+
+def add_pec_wire(
+    grid: YeeGrid,
+    axis: str,
+    start_node: tuple[int, int, int],
+    n_edges: int,
+) -> None:
+    """Add a thin PEC wire of ``n_edges`` consecutive edges along ``axis``.
+
+    ``start_node`` is the (i, j, k) node index of the wire's first end.
+    """
+    if n_edges < 1:
+        raise ValueError("n_edges must be at least 1")
+    i, j, k = start_node
+    if axis == "x":
+        grid.pec_x[i : i + n_edges, j, k] = True
+    elif axis == "y":
+        grid.pec_y[i, j : j + n_edges, k] = True
+    elif axis == "z":
+        grid.pec_z[i, j, k : k + n_edges] = True
+    else:
+        raise ValueError("axis must be 'x', 'y' or 'z'")
+
+
+def add_pec_box(
+    grid: YeeGrid,
+    i_range: tuple[int, int],
+    j_range: tuple[int, int],
+    k_range: tuple[int, int],
+) -> None:
+    """Mark every edge inside (and on the surface of) a node-range box as PEC."""
+    i0, i1 = i_range
+    j0, j1 = j_range
+    k0, k1 = k_range
+    if i0 >= i1 or j0 >= j1 or k0 >= k1:
+        raise ValueError("box ranges must be non-empty (start < stop)")
+    grid.pec_x[i0:i1, j0 : j1 + 1, k0 : k1 + 1] = True
+    grid.pec_y[i0 : i1 + 1, j0:j1, k0 : k1 + 1] = True
+    grid.pec_z[i0 : i1 + 1, j0 : j1 + 1, k0:k1] = True
+
+
+def add_via(grid: YeeGrid, i: int, j: int, k_range: tuple[int, int]) -> None:
+    """A vertical (z-directed) via: a thin PEC wire between two layers."""
+    k0, k1 = k_range
+    if k0 >= k1:
+        raise ValueError("k_range must be non-empty (start < stop)")
+    add_pec_wire(grid, "z", (i, j, k0), k1 - k0)

@@ -1,0 +1,191 @@
+"""Yee grid, material assignment and PEC bookkeeping.
+
+The computational domain is a box of ``nx x ny x nz`` cells with spacings
+``dx, dy, dz``.  Field components live on the standard Yee lattice:
+
+* ``Ex``: shape ``(nx, ny+1, nz+1)`` — x-directed edges,
+* ``Ey``: shape ``(nx+1, ny, nz+1)`` — y-directed edges,
+* ``Ez``: shape ``(nx+1, ny+1, nz)`` — z-directed edges,
+* ``Hx``: shape ``(nx+1, ny, nz)``, ``Hy``: ``(nx, ny+1, nz)``,
+  ``Hz``: ``(nx, ny, nz+1)`` — face-normal magnetic components.
+
+Materials are assigned per cell (relative permittivity); the per-edge
+permittivity used in the E updates is the average of the (up to) four cells
+sharing the edge, the standard treatment for dielectric interfaces.  PEC
+edges are tracked with boolean masks per component; the solver forces the
+tangential electric field to zero (or to minus the incident field in the
+scattered-field formulation) on those edges after every update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fdtd.constants import EPS0
+
+__all__ = ["YeeGrid", "EDGE_AXES"]
+
+#: Mapping from axis name to index.
+EDGE_AXES = {"x": 0, "y": 1, "z": 2}
+
+
+class YeeGrid:
+    """Geometry, material and PEC description of the computational domain.
+
+    Parameters
+    ----------
+    nx, ny, nz:
+        Number of cells along each axis.
+    dx, dy, dz:
+        Cell dimensions in metres (``dy``/``dz`` default to ``dx``).
+    """
+
+    def __init__(self, nx: int, ny: int, nz: int, dx: float, dy: float | None = None, dz: float | None = None):
+        if min(nx, ny, nz) < 2:
+            raise ValueError("the grid needs at least 2 cells along every axis")
+        if dx <= 0:
+            raise ValueError("dx must be positive")
+        self.nx, self.ny, self.nz = int(nx), int(ny), int(nz)
+        self.dx = float(dx)
+        self.dy = float(dy) if dy is not None else float(dx)
+        self.dz = float(dz) if dz is not None else float(dx)
+        if self.dy <= 0 or self.dz <= 0:
+            raise ValueError("dy and dz must be positive")
+
+        #: relative permittivity per cell
+        self.eps_r = np.ones((self.nx, self.ny, self.nz))
+        #: PEC masks per E component
+        self.pec_x = np.zeros((self.nx, self.ny + 1, self.nz + 1), dtype=bool)
+        self.pec_y = np.zeros((self.nx + 1, self.ny, self.nz + 1), dtype=bool)
+        self.pec_z = np.zeros((self.nx + 1, self.ny + 1, self.nz), dtype=bool)
+
+    # -- shapes -----------------------------------------------------------
+    @property
+    def spacings(self) -> tuple[float, float, float]:
+        """``(dx, dy, dz)``."""
+        return (self.dx, self.dy, self.dz)
+
+    def e_shape(self, axis: str) -> tuple[int, int, int]:
+        """Array shape of the requested E component."""
+        if axis == "x":
+            return (self.nx, self.ny + 1, self.nz + 1)
+        if axis == "y":
+            return (self.nx + 1, self.ny, self.nz + 1)
+        if axis == "z":
+            return (self.nx + 1, self.ny + 1, self.nz)
+        raise ValueError("axis must be 'x', 'y' or 'z'")
+
+    def h_shape(self, axis: str) -> tuple[int, int, int]:
+        """Array shape of the requested H component."""
+        if axis == "x":
+            return (self.nx + 1, self.ny, self.nz)
+        if axis == "y":
+            return (self.nx, self.ny + 1, self.nz)
+        if axis == "z":
+            return (self.nx, self.ny, self.nz + 1)
+        raise ValueError("axis must be 'x', 'y' or 'z'")
+
+    def pec_mask(self, axis: str) -> np.ndarray:
+        """PEC mask of the requested E component."""
+        return {"x": self.pec_x, "y": self.pec_y, "z": self.pec_z}[axis]
+
+    # -- materials --------------------------------------------------------
+    def set_box_epsr(
+        self,
+        i_range: tuple[int, int],
+        j_range: tuple[int, int],
+        k_range: tuple[int, int],
+        eps_r: float,
+    ) -> None:
+        """Assign a relative permittivity to a box of cells.
+
+        Ranges are half-open cell-index ranges ``[start, stop)``.
+        """
+        if eps_r <= 0:
+            raise ValueError("eps_r must be positive")
+        i0, i1 = i_range
+        j0, j1 = j_range
+        k0, k1 = k_range
+        self._check_cell_range(i0, i1, self.nx, "i")
+        self._check_cell_range(j0, j1, self.ny, "j")
+        self._check_cell_range(k0, k1, self.nz, "k")
+        self.eps_r[i0:i1, j0:j1, k0:k1] = eps_r
+
+    @staticmethod
+    def _check_cell_range(a: int, b: int, n: int, label: str) -> None:
+        if not (0 <= a < b <= n):
+            raise ValueError(f"invalid {label} cell range [{a}, {b}) for {n} cells")
+
+    def edge_permittivity(self, axis: str) -> np.ndarray:
+        """Absolute permittivity on the edges of one E component.
+
+        The edge value is the average of the cells sharing the edge, with
+        edge-of-domain edges using the available cells only.
+        """
+        eps = self.eps_r
+        pad = np.pad(eps, 1, mode="edge")
+        if axis == "x":
+            # Ex edge (i, j, k): cells (i, j-1..j, k-1..k)
+            stack = (
+                pad[1:-1, 0:-1, 0:-1] + pad[1:-1, 1:, 0:-1]
+                + pad[1:-1, 0:-1, 1:] + pad[1:-1, 1:, 1:]
+            )
+            out = stack[:, : self.ny + 1, : self.nz + 1] / 4.0
+        elif axis == "y":
+            stack = (
+                pad[0:-1, 1:-1, 0:-1] + pad[1:, 1:-1, 0:-1]
+                + pad[0:-1, 1:-1, 1:] + pad[1:, 1:-1, 1:]
+            )
+            out = stack[: self.nx + 1, :, : self.nz + 1] / 4.0
+        elif axis == "z":
+            stack = (
+                pad[0:-1, 0:-1, 1:-1] + pad[1:, 0:-1, 1:-1]
+                + pad[0:-1, 1:, 1:-1] + pad[1:, 1:, 1:-1]
+            )
+            out = stack[: self.nx + 1, : self.ny + 1, :] / 4.0
+        else:
+            raise ValueError("axis must be 'x', 'y' or 'z'")
+        if out.shape != self.e_shape(axis):
+            raise AssertionError("edge permittivity shape mismatch")
+        return EPS0 * out
+
+    # -- edge coordinates ---------------------------------------------------
+    def edge_coordinates(self, axis: str, mask: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Physical coordinates of the centres of the edges of one component.
+
+        With ``mask`` given (a boolean array of the component's shape) only
+        the coordinates of the masked edges are returned as flat arrays; this
+        is what the scattered-field PEC correction and the plane-wave source
+        use to evaluate the incident field where it is needed.
+        """
+        shape = self.e_shape(axis)
+        ii, jj, kk = np.indices(shape)
+        if axis == "x":
+            x = (ii + 0.5) * self.dx
+            y = jj * self.dy
+            z = kk * self.dz
+        elif axis == "y":
+            x = ii * self.dx
+            y = (jj + 0.5) * self.dy
+            z = kk * self.dz
+        else:
+            x = ii * self.dx
+            y = jj * self.dy
+            z = (kk + 0.5) * self.dz
+        if mask is not None:
+            return x[mask], y[mask], z[mask]
+        return x, y, z
+
+    def edge_length(self, axis: str) -> float:
+        """Length of an edge of the given orientation."""
+        return {"x": self.dx, "y": self.dy, "z": self.dz}[axis]
+
+    def cell_cross_section(self, axis: str) -> float:
+        """Area of the cell cross-section perpendicular to ``axis``."""
+        if axis == "x":
+            return self.dy * self.dz
+        if axis == "y":
+            return self.dx * self.dz
+        if axis == "z":
+            return self.dx * self.dy
+        raise ValueError("axis must be 'x', 'y' or 'z'")

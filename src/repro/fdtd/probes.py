@@ -1,0 +1,114 @@
+"""Field and voltage probes for the 3-D solver.
+
+Probes record the *total* field (scattered plus incident when a plane-wave
+source is present), which is what an oscilloscope attached to the structure
+would measure and what the paper's Figures 4, 5 and 7 plot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fdtd.grid import YeeGrid
+from repro.fdtd.plane_wave import PlaneWaveSource
+
+__all__ = ["EdgeVoltageProbe", "FieldProbe"]
+
+
+class EdgeVoltageProbe:
+    """Voltage along a straight path of E edges.
+
+    The voltage is the line integral of the total electric field along
+    ``n_edges`` consecutive edges starting at ``start_node`` in the positive
+    ``axis`` direction — the same convention as the lumped elements, so a
+    probe across the same gap as a port records the same quantity.
+    """
+
+    def __init__(self, name: str, axis: str, start_node: tuple[int, int, int], n_edges: int = 1, flip: bool = False):
+        if axis not in ("x", "y", "z"):
+            raise ValueError("axis must be 'x', 'y' or 'z'")
+        if n_edges < 1:
+            raise ValueError("n_edges must be at least 1")
+        self.name = name
+        self.axis = axis
+        self.start_node = tuple(int(v) for v in start_node)
+        self.n_edges = int(n_edges)
+        self.flip = bool(flip)
+        self.history: list[float] = []
+
+    def bind(self, grid: YeeGrid, plane_wave: Optional[PlaneWaveSource] = None) -> None:
+        """Resolve the edge indices and coordinates (called by the solver)."""
+        i, j, k = self.start_node
+        shape = grid.e_shape(self.axis)
+        offsets = np.arange(self.n_edges)
+        if self.axis == "x":
+            idx = (i + offsets, np.full_like(offsets, j), np.full_like(offsets, k))
+        elif self.axis == "y":
+            idx = (np.full_like(offsets, i), j + offsets, np.full_like(offsets, k))
+        else:
+            idx = (np.full_like(offsets, i), np.full_like(offsets, j), k + offsets)
+        for axis_idx, axis_size in zip(idx, shape):
+            if np.any(axis_idx < 0) or np.any(axis_idx >= axis_size):
+                raise ValueError(f"probe '{self.name}' path leaves the E_{self.axis} array")
+        self._index = idx
+        self.length = grid.edge_length(self.axis)
+        self.plane_wave = plane_wave
+        if plane_wave is not None:
+            x, y, z = grid.edge_coordinates(self.axis)
+            self._coords = (x[idx], y[idx], z[idx])
+        self.history = []
+
+    def record(self, e_component: np.ndarray, t: float) -> None:
+        """Sample the probe at time ``t`` (called by the solver after each step)."""
+        total = e_component[self._index].astype(float)
+        if self.plane_wave is not None:
+            x, y, z = self._coords
+            total = total + self.plane_wave.e_field(self.axis, x, y, z, t)
+        value = float(np.sum(total) * self.length)
+        self.history.append(-value if self.flip else value)
+
+    @property
+    def voltages(self) -> np.ndarray:
+        """Recorded voltage waveform (one sample per step, starting at step 1)."""
+        return np.asarray(self.history, dtype=float)
+
+
+class FieldProbe:
+    """Records one total E-field component at a single edge."""
+
+    def __init__(self, name: str, axis: str, node: tuple[int, int, int]):
+        if axis not in ("x", "y", "z"):
+            raise ValueError("axis must be 'x', 'y' or 'z'")
+        self.name = name
+        self.axis = axis
+        self.node = tuple(int(v) for v in node)
+        self.history: list[float] = []
+
+    def bind(self, grid: YeeGrid, plane_wave: Optional[PlaneWaveSource] = None) -> None:
+        shape = grid.e_shape(self.axis)
+        i, j, k = self.node
+        if not (0 <= i < shape[0] and 0 <= j < shape[1] and 0 <= k < shape[2]):
+            raise ValueError(f"probe '{self.name}' node outside the E_{self.axis} array")
+        self.plane_wave = plane_wave
+        if plane_wave is not None:
+            x, y, z = grid.edge_coordinates(self.axis)
+            self._coords = (
+                np.array(x[self.node]),
+                np.array(y[self.node]),
+                np.array(z[self.node]),
+            )
+        self.history = []
+
+    def record(self, e_component: np.ndarray, t: float) -> None:
+        value = float(e_component[self.node])
+        if self.plane_wave is not None:
+            x, y, z = self._coords
+            value += float(self.plane_wave.e_field(self.axis, x, y, z, t))
+        self.history.append(value)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Recorded field samples."""
+        return np.asarray(self.history, dtype=float)

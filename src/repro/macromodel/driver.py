@@ -1,0 +1,266 @@
+"""Two-submodel switching driver macromodel (paper Eq. 5).
+
+Drivers are time-varying: the output-port characteristic changes as the
+device switches between the HIGH and LOW logic states.  The paper's
+strategy uses two *time-invariant* Gaussian RBF submodels, ``i_u`` for the
+fixed HIGH state and ``i_d`` for the fixed LOW state, combined through
+time-varying weight functions,
+
+    i^m = w_u^m i_u^m + w_d^m i_d^m.
+
+The weight functions are identified once (from switching experiments under
+two different loads, see :mod:`repro.macromodel.identification`) and stored
+as transition *templates*; at simulation time the templates are replayed at
+every logic transition of the applied bit pattern.  Because a solver may
+run at a time step different from the model sampling time, templates are
+interpolated at arbitrary absolute times, which is exactly the resampling
+interpretation of Section 3 of the paper.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.macromodel.base import PortKind
+from repro.macromodel.rbf import RBFSubmodel
+
+__all__ = ["LogicStimulus", "SwitchingWeights", "DriverMacromodel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LogicStimulus:
+    """A sequence of logic transitions applied to a driver input.
+
+    Attributes
+    ----------
+    initial_state:
+        Logic state (0 or 1) before the first event.
+    events:
+        Sorted list of ``(time, new_state)`` pairs.  Only genuine
+        transitions are kept (events that repeat the current state are
+        dropped by :meth:`from_pattern`).
+    """
+
+    initial_state: int
+    events: tuple[tuple[float, int], ...]
+
+    def __post_init__(self):
+        if self.initial_state not in (0, 1):
+            raise ValueError("initial_state must be 0 or 1")
+        times = [t for t, _ in self.events]
+        if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
+            raise ValueError("event times must be strictly increasing")
+        state = self.initial_state
+        for _, new in self.events:
+            if new == state:
+                raise ValueError("events must alternate logic state")
+            state = new
+
+    @classmethod
+    def from_pattern(
+        cls, pattern: str, bit_time: float, t_start: float = 0.0
+    ) -> "LogicStimulus":
+        """Build a stimulus from a bit string such as the paper's ``'010'``.
+
+        Bit ``k`` occupies ``[t_start + k*bit_time, t_start + (k+1)*bit_time)``;
+        transitions happen at the bit boundaries.
+        """
+        if not pattern or any(ch not in "01" for ch in pattern):
+            raise ValueError("pattern must be a non-empty string of '0' and '1'")
+        if bit_time <= 0:
+            raise ValueError("bit_time must be positive")
+        initial = int(pattern[0])
+        events = []
+        state = initial
+        for k, ch in enumerate(pattern[1:], start=1):
+            bit = int(ch)
+            if bit != state:
+                events.append((t_start + k * bit_time, bit))
+                state = bit
+        return cls(initial_state=initial, events=tuple(events))
+
+    def state_at(self, t: float) -> int:
+        """Logic state at absolute time ``t``."""
+        state = self.initial_state
+        for time, new in self.events:
+            if t >= time:
+                state = new
+            else:
+                break
+        return state
+
+    def last_event_before(self, t: float) -> Optional[tuple[float, int]]:
+        """The most recent event at or before ``t``, or ``None``."""
+        times = [time for time, _ in self.events]
+        idx = bisect.bisect_right(times, t) - 1
+        if idx < 0:
+            return None
+        return self.events[idx]
+
+
+@dataclasses.dataclass
+class SwitchingWeights:
+    """Time-varying weight functions ``w_u(t)``, ``w_d(t)`` of Eq. (5).
+
+    The weights are stored as transition templates sampled with step
+    ``template_dt``: ``up_wu``/``up_wd`` describe the LOW→HIGH transition,
+    ``down_wu``/``down_wd`` the HIGH→LOW one.  Outside a transition the
+    weights sit at their steady values (``w_u = 1, w_d = 0`` in the HIGH
+    state and the converse in the LOW state); templates are clamped to
+    their last sample once the transition is over.
+    """
+
+    template_dt: float
+    up_wu: np.ndarray
+    up_wd: np.ndarray
+    down_wu: np.ndarray
+    down_wd: np.ndarray
+
+    def __post_init__(self):
+        if self.template_dt <= 0:
+            raise ValueError("template_dt must be positive")
+        for name in ("up_wu", "up_wd", "down_wu", "down_wd"):
+            arr = np.asarray(getattr(self, name), dtype=float).ravel()
+            if arr.size < 2:
+                raise ValueError(f"{name} template needs at least two samples")
+            setattr(self, name, arr)
+        if self.up_wu.shape != self.up_wd.shape:
+            raise ValueError("up templates must have equal length")
+        if self.down_wu.shape != self.down_wd.shape:
+            raise ValueError("down templates must have equal length")
+
+    @classmethod
+    def raised_cosine(
+        cls, switch_duration: float, template_dt: float
+    ) -> "SwitchingWeights":
+        """Smooth analytic weight templates.
+
+        Useful as a well-behaved default (and as the ground truth for the
+        synthetic reference devices): the weights swap between 0 and 1 along
+        a raised-cosine profile of duration ``switch_duration`` and always
+        satisfy ``w_u + w_d = 1``.
+        """
+        if switch_duration <= 0 or template_dt <= 0:
+            raise ValueError("durations must be positive")
+        n = max(int(np.ceil(switch_duration / template_dt)) + 1, 2)
+        x = np.linspace(0.0, 1.0, n)
+        ramp = 0.5 * (1.0 - np.cos(np.pi * x))
+        return cls(
+            template_dt=template_dt,
+            up_wu=ramp,
+            up_wd=1.0 - ramp,
+            down_wu=1.0 - ramp,
+            down_wd=ramp,
+        )
+
+    def _interp(self, template: np.ndarray, offset: float) -> float:
+        k = offset / self.template_dt
+        if k <= 0:
+            return float(template[0])
+        if k >= template.size - 1:
+            return float(template[-1])
+        lo = int(np.floor(k))
+        frac = k - lo
+        return float((1.0 - frac) * template[lo] + frac * template[lo + 1])
+
+    def steady(self, state: int) -> tuple[float, float]:
+        """Steady-state weights for a fixed logic state."""
+        return (1.0, 0.0) if state == 1 else (0.0, 1.0)
+
+    def weights_at(self, t: float, stimulus: LogicStimulus) -> tuple[float, float]:
+        """Evaluate ``(w_u, w_d)`` at absolute time ``t`` for a stimulus."""
+        event = stimulus.last_event_before(t)
+        if event is None:
+            return self.steady(stimulus.initial_state)
+        t_event, new_state = event
+        offset = t - t_event
+        if new_state == 1:
+            return self._interp(self.up_wu, offset), self._interp(self.up_wd, offset)
+        return self._interp(self.down_wu, offset), self._interp(self.down_wd, offset)
+
+
+@dataclasses.dataclass
+class DriverMacromodel:
+    """The complete switching-driver macromodel of Eq. (5).
+
+    Parameters
+    ----------
+    submodel_up, submodel_down:
+        Time-invariant Gaussian RBF submodels for the fixed HIGH and LOW
+        output states.
+    weights:
+        The time-varying switching weights.
+    sampling_time:
+        The model's native sampling time ``Ts``.
+    stimulus:
+        The logic stimulus driving the output switching.  It may be set at
+        construction or bound later with :meth:`bound`.
+    name:
+        Optional identifier used by the device library and serialisation.
+    """
+
+    submodel_up: RBFSubmodel
+    submodel_down: RBFSubmodel
+    weights: SwitchingWeights
+    sampling_time: float
+    stimulus: Optional[LogicStimulus] = None
+    name: str = "driver"
+
+    kind = PortKind.DRIVER
+
+    def __post_init__(self):
+        if self.sampling_time <= 0:
+            raise ValueError("sampling_time must be positive")
+        if self.submodel_up.dynamic_order != self.submodel_down.dynamic_order:
+            raise ValueError("both submodels must share the same dynamic order")
+
+    @property
+    def dynamic_order(self) -> int:
+        """Regressor order ``r`` shared by both submodels."""
+        return self.submodel_up.dynamic_order
+
+    def bound(self, stimulus: LogicStimulus) -> "DriverMacromodel":
+        """Return a copy of the model bound to the given logic stimulus."""
+        return dataclasses.replace(self, stimulus=stimulus)
+
+    def _require_stimulus(self) -> LogicStimulus:
+        if self.stimulus is None:
+            raise RuntimeError(
+                "driver macromodel has no logic stimulus bound; call .bound(stimulus)"
+            )
+        return self.stimulus
+
+    def current(self, v: float, x_v: np.ndarray, x_i: np.ndarray, t: float) -> float:
+        """Port current ``i = w_u i_u + w_d i_d`` (paper Eq. 5)."""
+        w_u, w_d = self.weights.weights_at(t, self._require_stimulus())
+        i = 0.0
+        if w_u != 0.0:
+            i += w_u * self.submodel_up.current(v, x_v, x_i)
+        if w_d != 0.0:
+            i += w_d * self.submodel_down.current(v, x_v, x_i)
+        return i
+
+    def dcurrent_dv(
+        self, v: float, x_v: np.ndarray, x_i: np.ndarray, t: float
+    ) -> float:
+        """Analytic ``dF/dv`` used by the Newton-Raphson coupling."""
+        w_u, w_d = self.weights.weights_at(t, self._require_stimulus())
+        g = 0.0
+        if w_u != 0.0:
+            g += w_u * self.submodel_up.dcurrent_dv(v, x_v, x_i)
+        if w_d != 0.0:
+            g += w_d * self.submodel_down.dcurrent_dv(v, x_v, x_i)
+        return g
+
+    def weights_at(self, t: float) -> tuple[float, float]:
+        """Convenience accessor for the bound weights at time ``t``."""
+        return self.weights.weights_at(t, self._require_stimulus())
+
+    def rest_voltage(self, v_low: float, v_high: float) -> float:
+        """Initial output voltage guess for the initial logic state."""
+        stim = self._require_stimulus()
+        return v_high if stim.initial_state == 1 else v_low

@@ -1,0 +1,395 @@
+"""Reference device macromodels and the component library.
+
+The paper uses the RBF macromodel of "a commercial device, namely a
+high-speed CMOS driver (power supply Vss = 0 V, Vdd = 1.8 V) used in IBM
+mainframe products" and of a receiver in the same technology.  Those
+transistor-level netlists are proprietary, so this reproduction substitutes
+a synthetic 1.8 V CMOS technology whose output/input characteristics are
+described analytically here and, at transistor level, in
+:mod:`repro.circuits.devices` (both are built from the same parameter set,
+so the two paths are mutually consistent).
+
+Two ways to obtain macromodels are provided:
+
+* :func:`make_reference_driver_macromodel` / :func:`make_reference_receiver_macromodel`
+  construct the macromodels *directly* by fitting the analytic device
+  characteristics — fast and deterministic, used by unit tests and by the
+  FDTD-centric experiments.
+* The full identification-from-transistor-level flow (run the
+  :mod:`repro.circuits` transistor device, record waveforms, call
+  :mod:`repro.macromodel.identification`) lives in
+  :mod:`repro.experiments.devices` and is exercised by the Figure 4/5
+  experiments, mirroring the paper's "SPICE (reference)" versus
+  "SPICE (RBF model)" comparison.
+
+The :class:`DeviceLibrary` realises the paper's remark that "it is also
+conceivable to setup libraries of components that can be arbitrarily
+selected and included by the user": a named collection of macromodels with
+JSON persistence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, Iterator
+
+import numpy as np
+
+from repro.macromodel.driver import DriverMacromodel, SwitchingWeights
+from repro.macromodel.identification import fit_linear_submodel, fit_rbf_submodel
+from repro.macromodel.receiver import LinearSubmodel, ReceiverMacromodel
+from repro.macromodel.serialization import macromodel_from_dict, macromodel_to_dict
+
+__all__ = [
+    "ReferenceDeviceParameters",
+    "driver_pullup_current",
+    "driver_pulldown_current",
+    "receiver_protection_current",
+    "make_reference_driver_macromodel",
+    "make_reference_receiver_macromodel",
+    "DeviceLibrary",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReferenceDeviceParameters:
+    """Parameters of the synthetic 1.8 V CMOS reference technology.
+
+    The default values give an output impedance of a few tens of ohms and
+    switching times of a few hundred picoseconds — representative of the
+    high-speed CMOS parts the paper refers to, and fast enough to excite
+    the 131 ohm / 0.4 ns validation line of Figure 3.
+    """
+
+    vdd: float = 1.8
+    #: NMOS / PMOS transconductance factors K = mu Cox W / L [A/V^2]
+    kn: float = 0.060
+    kp: float = 0.050
+    #: threshold voltages (magnitude for the PMOS)
+    vtn: float = 0.40
+    vtp: float = 0.45
+    #: channel-length modulation
+    lam: float = 0.05
+    #: driver output (pad) capacitance [F]
+    c_out: float = 2.0e-12
+    #: receiver input capacitance [F] and leakage conductance [S]
+    c_in: float = 1.5e-12
+    g_in: float = 1.0e-6
+    #: protection (clamp) diode saturation current [A] and emission coefficient
+    diode_is: float = 1.0e-14
+    diode_n: float = 1.3
+    #: thermal voltage [V]
+    vt_thermal: float = 0.02585
+    #: duration of the driver switching transient [s]
+    switch_time: float = 0.5e-9
+    #: macromodel sampling time Ts [s]
+    sampling_time: float = 25e-12
+    #: regressor dynamic order r
+    dynamic_order: int = 2
+
+
+def _mos_drain_current(vgs: float, vds: float, k: float, vt: float, lam: float):
+    """Level-1 MOSFET drain current (vectorised over ``vds``)."""
+    vds = np.asarray(vds, dtype=float)
+    vov = vgs - vt
+    if vov <= 0:
+        return np.zeros_like(vds)
+    triode = k * (vov * vds - 0.5 * vds**2)
+    sat = 0.5 * k * vov**2
+    ids = np.where(vds < vov, triode, sat)
+    return ids * (1.0 + lam * np.clip(vds, 0.0, None))
+
+
+def _diode_current(v: np.ndarray, params: ReferenceDeviceParameters) -> np.ndarray:
+    """Exponential diode with a linear continuation above 0.9 V forward bias.
+
+    The continuation keeps identification records finite when the training
+    excitation over/undershoots strongly.
+    """
+    v = np.asarray(v, dtype=float)
+    nvt = params.diode_n * params.vt_thermal
+    v_knee = 0.9
+    exp_part = params.diode_is * (np.exp(np.minimum(v, v_knee) / nvt) - 1.0)
+    slope = params.diode_is * np.exp(v_knee / nvt) / nvt
+    linear_part = np.where(v > v_knee, slope * (v - v_knee), 0.0)
+    return exp_part + linear_part
+
+
+def driver_pullup_current(v, params: ReferenceDeviceParameters) -> np.ndarray:
+    """Static port current (into the device) with the pull-up PMOS active.
+
+    With the output in the HIGH state the PMOS (source at Vdd, gate at 0)
+    sources current into the load whenever ``v < Vdd``; the port current
+    measured *into* the device is therefore negative below the rail.  Above
+    the rail the symmetric channel conducts in the reverse direction (the
+    pad acts as the source) and the drain-bulk junction clamps, so the
+    current into the device is positive — matching the transistor-level
+    device of :mod:`repro.circuits.devices`.
+    """
+    v = np.asarray(v, dtype=float)
+    vsd_fwd = np.clip(params.vdd - v, 0.0, None)
+    ip_fwd = _mos_drain_current(params.vdd, vsd_fwd, params.kp, params.vtp, params.lam)
+    # reverse conduction for v > Vdd: the pad is the source, |vgs| = v.
+    ip_rev = np.array(
+        [
+            _mos_drain_current(float(vv), float(max(vv - params.vdd, 0.0)),
+                               params.kp, params.vtp, params.lam)
+            if vv > params.vdd else 0.0
+            for vv in np.atleast_1d(v)
+        ]
+    ).reshape(np.shape(v))
+    clamp_above = _diode_current(v - params.vdd, params)
+    return -ip_fwd + ip_rev + clamp_above
+
+
+def driver_pulldown_current(v, params: ReferenceDeviceParameters) -> np.ndarray:
+    """Static port current (into the device) with the pull-down NMOS active.
+
+    In the LOW state the NMOS (source at ground, gate at Vdd) sinks current
+    whenever ``v > 0``; below ground the symmetric channel conducts in
+    reverse (the pad acts as the source) and the drain-bulk junction clamps.
+    """
+    v = np.asarray(v, dtype=float)
+    vds_fwd = np.clip(v, 0.0, None)
+    i_fwd = _mos_drain_current(params.vdd, vds_fwd, params.kn, params.vtn, params.lam)
+    i_rev = np.array(
+        [
+            _mos_drain_current(params.vdd - float(vv), float(max(-vv, 0.0)),
+                               params.kn, params.vtn, params.lam)
+            if vv < 0.0 else 0.0
+            for vv in np.atleast_1d(v)
+        ]
+    ).reshape(np.shape(v))
+    clamp_below = _diode_current(-v, params)
+    return i_fwd - i_rev - clamp_below
+
+
+def receiver_protection_current(
+    v, params: ReferenceDeviceParameters, side: str
+) -> np.ndarray:
+    """Static current of the receiver's up or down protection diode."""
+    v = np.asarray(v, dtype=float)
+    if side == "up":
+        return _diode_current(v - params.vdd, params)
+    if side == "down":
+        return -_diode_current(-v, params)
+    raise ValueError("side must be 'up' or 'down'")
+
+
+def _training_voltage(
+    params: ReferenceDeviceParameters, v_min: float, v_max: float, seed: int
+) -> np.ndarray:
+    """A rich voltage record for fixed-state identification, sampled at ``Ts``.
+
+    The record concatenates (a) a slow triangular sweep that covers the
+    static characteristic densely, (b) a band-limited pseudo-random
+    excitation whose per-sample slew matches realistic driver edges (this
+    exposes the capacitive part of the port dynamics), (c) a slower random
+    excitation, and (d) a second sweep, so both the static curve and the
+    dynamic behaviour are well represented in the regression data.
+    """
+    rng = np.random.default_rng(seed)
+    sweep_up = np.linspace(v_min, v_max, 300)
+    triangle = np.concatenate([sweep_up, sweep_up[::-1]])
+    fast = np.convolve(rng.uniform(v_min, v_max, 900), np.ones(8) / 8.0, mode="same")
+    slow = np.convolve(rng.uniform(v_min, v_max, 600), np.ones(20) / 20.0, mode="same")
+    return np.concatenate([triangle, fast, slow, triangle])
+
+
+def _fixed_state_record(
+    v: np.ndarray, static_current, params: ReferenceDeviceParameters, c_shunt: float
+) -> np.ndarray:
+    """Port current record for a voltage record applied to a fixed-state port.
+
+    The capacitive contribution uses a backward difference, which is the
+    derivative approximation consistent with the regressor structure of the
+    macromodel (the present current may depend on present and *past*
+    voltage samples only).
+    """
+    i_static = np.asarray(static_current(v, params), dtype=float)
+    dv = np.empty_like(v)
+    dv[0] = 0.0
+    dv[1:] = np.diff(v)
+    return i_static + c_shunt * dv / params.sampling_time
+
+
+def make_reference_driver_macromodel(
+    params: ReferenceDeviceParameters | None = None,
+    n_centers: int = 150,
+    beta: float = 0.5,
+    seed: int = 0,
+    name: str = "cmos18_driver",
+) -> DriverMacromodel:
+    """Build the reference 1.8 V CMOS driver macromodel.
+
+    The two fixed-state submodels are identified from synthetic records of
+    the analytic device characteristics (static level-1 curves plus the pad
+    capacitance); the switching weights use the raised-cosine template with
+    the technology switching time.  The returned model has no logic
+    stimulus bound.
+    """
+    params = params or ReferenceDeviceParameters()
+    v_train = _training_voltage(params, -0.5, params.vdd + 0.5, seed)
+
+    i_up = _fixed_state_record(v_train, driver_pullup_current, params, params.c_out)
+    i_down = _fixed_state_record(v_train, driver_pulldown_current, params, params.c_out)
+
+    fit_up = fit_rbf_submodel(
+        v_train,
+        i_up,
+        dynamic_order=params.dynamic_order,
+        n_centers=n_centers,
+        beta=beta,
+        v_scale=params.vdd,
+        seed=seed,
+    )
+    fit_down = fit_rbf_submodel(
+        v_train,
+        i_down,
+        dynamic_order=params.dynamic_order,
+        n_centers=n_centers,
+        beta=beta,
+        v_scale=params.vdd,
+        seed=seed + 1,
+    )
+    weights = SwitchingWeights.raised_cosine(
+        switch_duration=params.switch_time, template_dt=params.sampling_time
+    )
+    return DriverMacromodel(
+        submodel_up=fit_up.submodel,
+        submodel_down=fit_down.submodel,
+        weights=weights,
+        sampling_time=params.sampling_time,
+        name=name,
+    )
+
+
+def make_reference_receiver_macromodel(
+    params: ReferenceDeviceParameters | None = None,
+    n_centers: int = 80,
+    beta: float = 0.25,
+    seed: int = 10,
+    name: str = "cmos18_receiver",
+) -> ReceiverMacromodel:
+    """Build the reference 1.8 V CMOS receiver macromodel.
+
+    The linear submodel is the input capacitance / leakage pair; the two
+    protection submodels are identified from synthetic records of the clamp
+    diode characteristics driven beyond the rails.
+    """
+    params = params or ReferenceDeviceParameters()
+    linear = LinearSubmodel.from_capacitance(
+        capacitance=params.c_in,
+        conductance=params.g_in,
+        sampling_time=params.sampling_time,
+        order=params.dynamic_order,
+    )
+
+    # Protection records cover the whole operating range plus the over/under-
+    # shoot region: inside the rails the protection current is essentially
+    # zero (so the fit stays quiet there), and past the clamp knee the steep
+    # exponential and its linear continuation are well represented.
+    v_up = _training_voltage(params, 0.0, params.vdd + 1.2, seed)
+    v_down = _training_voltage(params, -1.2, params.vdd, seed + 1)
+    i_up = np.asarray(receiver_protection_current(v_up, params, "up"), dtype=float)
+    i_down = np.asarray(receiver_protection_current(v_down, params, "down"), dtype=float)
+
+    # The protection behaviour is essentially static (the dynamic part of the
+    # port lives in the linear submodel), so the current regressors are given
+    # a large normalisation scale: their influence on the Gaussians becomes
+    # negligible and the fit concentrates on the voltage dependence.
+    fit_up = fit_rbf_submodel(
+        v_up,
+        i_up,
+        dynamic_order=params.dynamic_order,
+        n_centers=n_centers,
+        beta=beta,
+        v_scale=params.vdd,
+        i_scale=1.0,
+        seed=seed,
+    )
+    fit_down = fit_rbf_submodel(
+        v_down,
+        i_down,
+        dynamic_order=params.dynamic_order,
+        n_centers=n_centers,
+        beta=beta,
+        v_scale=params.vdd,
+        i_scale=1.0,
+        seed=seed + 1,
+    )
+    return ReceiverMacromodel(
+        linear=linear,
+        protection_up=fit_up.submodel,
+        protection_down=fit_down.submodel,
+        sampling_time=params.sampling_time,
+        name=name,
+    )
+
+
+class DeviceLibrary:
+    """A named collection of port macromodels with JSON persistence.
+
+    The library realises the component-library use case of the paper's
+    introduction: identified models are stored once and reused across
+    simulations by name.
+    """
+
+    def __init__(self):
+        self._models: Dict[str, object] = {}
+
+    def add(self, model) -> None:
+        """Add a macromodel under its ``name`` attribute."""
+        name = getattr(model, "name", None)
+        if not name:
+            raise ValueError("macromodel must carry a non-empty 'name'")
+        self._models[name] = model
+
+    def get(self, name: str):
+        """Retrieve a macromodel by name (raises ``KeyError`` if absent)."""
+        return self._models[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._models)
+
+    def names(self) -> list[str]:
+        """Sorted list of stored model names."""
+        return sorted(self._models)
+
+    def save(self, path: str) -> None:
+        """Serialise the whole library to a JSON file."""
+        payload = {name: macromodel_to_dict(model) for name, model in self._models.items()}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+
+    @classmethod
+    def load(cls, path: str) -> "DeviceLibrary":
+        """Load a library previously written by :meth:`save`."""
+        if not os.path.exists(path):
+            raise FileNotFoundError(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        library = cls()
+        for name, entry in payload.items():
+            model = macromodel_from_dict(entry)
+            model.name = name
+            library.add(model)
+        return library
+
+    @classmethod
+    def with_reference_devices(
+        cls, params: ReferenceDeviceParameters | None = None
+    ) -> "DeviceLibrary":
+        """Library pre-populated with the reference driver and receiver."""
+        library = cls()
+        library.add(make_reference_driver_macromodel(params))
+        library.add(make_reference_receiver_macromodel(params))
+        return library

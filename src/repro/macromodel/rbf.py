@@ -1,0 +1,177 @@
+"""Gaussian radial-basis-function expansions (paper Eqs. 3-4).
+
+An RBF submodel approximates the port current as
+
+    G(v, x_v, x_i) = sum_l theta_l
+                      * exp(-(v - c0_l)^2 / (2 beta^2))
+                      * exp(-(||x_v - cv_l||^2 + ||x_i - ci_l||^2) / (2 beta^2)),
+
+i.e. an isotropic Gaussian expansion in the ``(2r+1)``-dimensional regressor
+space formed by the present voltage and the past ``r`` voltage and current
+samples.  For numerical conditioning the regressor space is normalised by a
+voltage scale (typically the supply voltage) and a current scale (typically
+the output drive strength) before the Gaussian is evaluated; the scales are
+stored with the model so that evaluation is self-contained.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["GaussianRBFExpansion", "RBFSubmodel"]
+
+
+@dataclasses.dataclass
+class GaussianRBFExpansion:
+    """An isotropic Gaussian RBF expansion in ``D`` dimensions.
+
+    Parameters
+    ----------
+    centers:
+        Array of shape ``(L, D)`` with the centre locations in the
+        (already normalised) input space.
+    weights:
+        Array of shape ``(L,)`` with the expansion coefficients ``theta``.
+    beta:
+        Common Gaussian width (in normalised units).
+    """
+
+    centers: np.ndarray
+    weights: np.ndarray
+    beta: float
+
+    def __post_init__(self):
+        self.centers = np.atleast_2d(np.asarray(self.centers, dtype=float))
+        self.weights = np.asarray(self.weights, dtype=float).ravel()
+        self.beta = float(self.beta)
+        if self.centers.shape[0] != self.weights.shape[0]:
+            raise ValueError("number of centers and weights must match")
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+
+    @property
+    def n_centers(self) -> int:
+        """Number of Gaussian basis functions ``L``."""
+        return self.centers.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        """Dimension ``D`` of the input space."""
+        return self.centers.shape[1]
+
+    def basis(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate all ``L`` Gaussian basis functions at points ``x``.
+
+        ``x`` may be a single ``D``-vector or an ``(N, D)`` batch; the result
+        has shape ``(L,)`` or ``(N, L)`` respectively.
+        """
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        pts = np.atleast_2d(x)
+        if pts.shape[1] != self.dimension:
+            raise ValueError(
+                f"input dimension {pts.shape[1]} != model dimension {self.dimension}"
+            )
+        diff = pts[:, None, :] - self.centers[None, :, :]
+        sq = np.sum(diff * diff, axis=2)
+        phi = np.exp(-sq / (2.0 * self.beta**2))
+        return phi[0] if single else phi
+
+    def __call__(self, x: np.ndarray) -> np.ndarray | float:
+        """Evaluate the expansion; scalar for a single point, array for a batch."""
+        phi = self.basis(x)
+        out = phi @ self.weights
+        return float(out) if np.ndim(out) == 0 else out
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        """Gradient of the expansion with respect to the input vector.
+
+        Only single points are supported (shape ``(D,)`` in, ``(D,)`` out);
+        this is what the Newton-Raphson coupling needs.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 1:
+            raise ValueError("gradient expects a single D-vector")
+        diff = x[None, :] - self.centers
+        sq = np.sum(diff * diff, axis=1)
+        phi = np.exp(-sq / (2.0 * self.beta**2))
+        coeff = -(self.weights * phi) / (self.beta**2)
+        return coeff @ diff
+
+    def design_matrix(self, x: np.ndarray) -> np.ndarray:
+        """The ``(N, L)`` matrix of basis values used in least-squares fitting."""
+        return np.atleast_2d(self.basis(x))
+
+
+@dataclasses.dataclass
+class RBFSubmodel:
+    """An RBF submodel of the port current in physical units.
+
+    This wraps a :class:`GaussianRBFExpansion` defined on the *normalised*
+    regressor ``[v/v_scale, x_v/v_scale, x_i/i_scale]`` and returns currents
+    in amperes (the expansion output is multiplied by ``i_scale``).
+
+    Parameters
+    ----------
+    expansion:
+        The underlying Gaussian expansion of dimension ``2 r + 1``.
+    dynamic_order:
+        The number ``r`` of past samples in each regressor.
+    v_scale, i_scale:
+        Normalisation scales for voltages and currents.
+    """
+
+    expansion: GaussianRBFExpansion
+    dynamic_order: int
+    v_scale: float = 1.0
+    i_scale: float = 1.0
+
+    def __post_init__(self):
+        expected = 2 * self.dynamic_order + 1
+        if self.expansion.dimension != expected:
+            raise ValueError(
+                f"expansion dimension {self.expansion.dimension} does not match "
+                f"2*r+1 = {expected}"
+            )
+        if self.v_scale <= 0 or self.i_scale <= 0:
+            raise ValueError("scales must be positive")
+
+    def _normalise(self, v: float, x_v: np.ndarray, x_i: np.ndarray) -> np.ndarray:
+        x_v = np.asarray(x_v, dtype=float)
+        x_i = np.asarray(x_i, dtype=float)
+        r = self.dynamic_order
+        if x_v.shape != (r,) or x_i.shape != (r,):
+            raise ValueError(f"regressor vectors must have shape ({r},)")
+        return np.concatenate(
+            ([v / self.v_scale], x_v / self.v_scale, x_i / self.i_scale)
+        )
+
+    def current(self, v: float, x_v: np.ndarray, x_i: np.ndarray) -> float:
+        """Port current in amperes for the given voltage and regressors."""
+        return self.i_scale * float(self.expansion(self._normalise(v, x_v, x_i)))
+
+    def dcurrent_dv(self, v: float, x_v: np.ndarray, x_i: np.ndarray) -> float:
+        """Analytic derivative of the current with respect to ``v``."""
+        grad = self.expansion.gradient(self._normalise(v, x_v, x_i))
+        # chain rule through the v/v_scale normalisation, output scaled by i_scale
+        return self.i_scale * grad[0] / self.v_scale
+
+    def current_batch(
+        self, v: Sequence[float], x_v: np.ndarray, x_i: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised evaluation over rows of ``(v, x_v, x_i)``.
+
+        ``v`` has shape ``(N,)``, ``x_v`` and ``x_i`` shape ``(N, r)``.
+        Used by the identification routines to evaluate fitted submodels over
+        whole training records at once.
+        """
+        v = np.asarray(v, dtype=float)
+        x_v = np.atleast_2d(np.asarray(x_v, dtype=float))
+        x_i = np.atleast_2d(np.asarray(x_i, dtype=float))
+        pts = np.column_stack(
+            (v / self.v_scale, x_v / self.v_scale, x_i / self.i_scale)
+        )
+        return self.i_scale * np.asarray(self.expansion(pts), dtype=float)

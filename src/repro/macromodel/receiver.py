@@ -1,0 +1,167 @@
+"""Receiver input-port macromodel (paper Eq. 6).
+
+Receivers are not time-varying; the paper models the input port as the sum
+of three contributions,
+
+    i^m = i_lin^m + i_nl,u^m + i_nl,d^m,
+
+where ``i_lin`` is a linear parametric (ARX-type) submodel capturing the
+mainly linear behaviour for voltages inside the supply rails, and the two
+Gaussian RBF submodels account for the nonlinear static and dynamic effects
+of the up/down protection circuits (the clamp diodes towards ``Vdd`` and
+ground that conduct when the input over/undershoots).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.macromodel.base import PortKind
+from repro.macromodel.rbf import RBFSubmodel
+
+__all__ = ["LinearSubmodel", "ReceiverMacromodel"]
+
+
+@dataclasses.dataclass
+class LinearSubmodel:
+    """Discrete-time linear (ARX) submodel of the port current.
+
+    The model is
+
+        i_lin^m = b0 v^m + sum_k b_k v^{m-k} + sum_k a_k i^{m-k},
+
+    with ``k = 1 .. r``.  For a receiver the dominant physics is the input
+    capacitance, for which a first-order ARX fit is already accurate; higher
+    orders capture package resonances.
+
+    Parameters
+    ----------
+    b0:
+        Coefficient of the present voltage sample.
+    b_past:
+        Coefficients of the ``r`` past voltage samples (most recent first).
+    a_past:
+        Coefficients of the ``r`` past current samples (most recent first).
+    """
+
+    b0: float
+    b_past: np.ndarray
+    a_past: np.ndarray
+
+    def __post_init__(self):
+        self.b_past = np.asarray(self.b_past, dtype=float).ravel()
+        self.a_past = np.asarray(self.a_past, dtype=float).ravel()
+        if self.b_past.shape != self.a_past.shape:
+            raise ValueError("b_past and a_past must have the same length")
+        if self.b_past.size < 1:
+            raise ValueError("the linear submodel needs dynamic order >= 1")
+        self.b0 = float(self.b0)
+
+    @property
+    def dynamic_order(self) -> int:
+        """Regressor order ``r``."""
+        return self.b_past.size
+
+    @classmethod
+    def from_capacitance(
+        cls, capacitance: float, conductance: float, sampling_time: float, order: int = 1
+    ) -> "LinearSubmodel":
+        """Linear submodel equivalent to a shunt ``C`` in parallel with ``G``.
+
+        A backward-difference discretisation of ``i = C dv/dt + G v`` at the
+        sampling time ``Ts`` gives ``i^m = (C/Ts + G) v^m - (C/Ts) v^{m-1}``,
+        which is the natural seed model for a receiver input stage.
+        """
+        if sampling_time <= 0:
+            raise ValueError("sampling_time must be positive")
+        if order < 1:
+            raise ValueError("order must be at least 1")
+        b_past = np.zeros(order)
+        a_past = np.zeros(order)
+        b_past[0] = -capacitance / sampling_time
+        return cls(b0=capacitance / sampling_time + conductance, b_past=b_past, a_past=a_past)
+
+    def current(self, v: float, x_v: np.ndarray, x_i: np.ndarray) -> float:
+        """Evaluate ``i_lin`` for a single sample."""
+        x_v = np.asarray(x_v, dtype=float)
+        x_i = np.asarray(x_i, dtype=float)
+        r = self.dynamic_order
+        if x_v.shape != (r,) or x_i.shape != (r,):
+            raise ValueError(f"regressor vectors must have shape ({r},)")
+        return float(self.b0 * v + self.b_past @ x_v + self.a_past @ x_i)
+
+    def dcurrent_dv(self, v: float, x_v: np.ndarray, x_i: np.ndarray) -> float:
+        """Derivative with respect to the present voltage (= ``b0``)."""
+        return self.b0
+
+    def current_batch(self, v: np.ndarray, x_v: np.ndarray, x_i: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation over training records."""
+        v = np.asarray(v, dtype=float)
+        x_v = np.atleast_2d(np.asarray(x_v, dtype=float))
+        x_i = np.atleast_2d(np.asarray(x_i, dtype=float))
+        return self.b0 * v + x_v @ self.b_past + x_i @ self.a_past
+
+
+@dataclasses.dataclass
+class ReceiverMacromodel:
+    """The complete receiver macromodel of Eq. (6).
+
+    Parameters
+    ----------
+    linear:
+        Linear submodel ``i_lin`` for the in-rail behaviour.
+    protection_up:
+        RBF submodel of the upper protection circuit (conducts when the
+        input rises above ``Vdd``).
+    protection_down:
+        RBF submodel of the lower protection circuit (conducts when the
+        input falls below ground).
+    sampling_time:
+        Model sampling time ``Ts``.
+    name:
+        Optional identifier used by the device library and serialisation.
+    """
+
+    linear: LinearSubmodel
+    protection_up: RBFSubmodel
+    protection_down: RBFSubmodel
+    sampling_time: float
+    name: str = "receiver"
+
+    kind = PortKind.RECEIVER
+
+    def __post_init__(self):
+        if self.sampling_time <= 0:
+            raise ValueError("sampling_time must be positive")
+        orders = {
+            self.linear.dynamic_order,
+            self.protection_up.dynamic_order,
+            self.protection_down.dynamic_order,
+        }
+        if len(orders) != 1:
+            raise ValueError("all receiver submodels must share the same dynamic order")
+
+    @property
+    def dynamic_order(self) -> int:
+        """Regressor order ``r`` shared by all submodels."""
+        return self.linear.dynamic_order
+
+    def current(self, v: float, x_v: np.ndarray, x_i: np.ndarray, t: float = 0.0) -> float:
+        """Port current ``i = i_lin + i_nl,u + i_nl,d``; ``t`` is ignored."""
+        return (
+            self.linear.current(v, x_v, x_i)
+            + self.protection_up.current(v, x_v, x_i)
+            + self.protection_down.current(v, x_v, x_i)
+        )
+
+    def dcurrent_dv(
+        self, v: float, x_v: np.ndarray, x_i: np.ndarray, t: float = 0.0
+    ) -> float:
+        """Analytic ``dF/dv``; ``t`` is ignored (receivers are time-invariant)."""
+        return (
+            self.linear.dcurrent_dv(v, x_v, x_i)
+            + self.protection_up.dcurrent_dv(v, x_v, x_i)
+            + self.protection_down.dcurrent_dv(v, x_v, x_i)
+        )

@@ -1,0 +1,154 @@
+"""JSON (de)serialisation of macromodels.
+
+The paper points out that "the same computational code can be used for very
+different devices simply feeding it with the proper model parameters" and
+that component libraries can be set up.  This module defines the on-disk
+representation: every macromodel becomes a plain dictionary of lists and
+scalars so it can be stored as JSON, versioned, and exchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.macromodel.driver import DriverMacromodel, SwitchingWeights
+from repro.macromodel.rbf import GaussianRBFExpansion, RBFSubmodel
+from repro.macromodel.receiver import LinearSubmodel, ReceiverMacromodel
+
+__all__ = [
+    "macromodel_to_dict",
+    "macromodel_from_dict",
+    "save_macromodel",
+    "load_macromodel",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _rbf_submodel_to_dict(sub: RBFSubmodel) -> Dict[str, Any]:
+    return {
+        "type": "rbf_submodel",
+        "centers": sub.expansion.centers.tolist(),
+        "weights": sub.expansion.weights.tolist(),
+        "beta": sub.expansion.beta,
+        "dynamic_order": sub.dynamic_order,
+        "v_scale": sub.v_scale,
+        "i_scale": sub.i_scale,
+    }
+
+
+def _rbf_submodel_from_dict(data: Dict[str, Any]) -> RBFSubmodel:
+    expansion = GaussianRBFExpansion(
+        centers=np.asarray(data["centers"], dtype=float),
+        weights=np.asarray(data["weights"], dtype=float),
+        beta=float(data["beta"]),
+    )
+    return RBFSubmodel(
+        expansion=expansion,
+        dynamic_order=int(data["dynamic_order"]),
+        v_scale=float(data["v_scale"]),
+        i_scale=float(data["i_scale"]),
+    )
+
+
+def _linear_submodel_to_dict(sub: LinearSubmodel) -> Dict[str, Any]:
+    return {
+        "type": "linear_submodel",
+        "b0": sub.b0,
+        "b_past": sub.b_past.tolist(),
+        "a_past": sub.a_past.tolist(),
+    }
+
+
+def _linear_submodel_from_dict(data: Dict[str, Any]) -> LinearSubmodel:
+    return LinearSubmodel(
+        b0=float(data["b0"]),
+        b_past=np.asarray(data["b_past"], dtype=float),
+        a_past=np.asarray(data["a_past"], dtype=float),
+    )
+
+
+def _weights_to_dict(weights: SwitchingWeights) -> Dict[str, Any]:
+    return {
+        "template_dt": weights.template_dt,
+        "up_wu": weights.up_wu.tolist(),
+        "up_wd": weights.up_wd.tolist(),
+        "down_wu": weights.down_wu.tolist(),
+        "down_wd": weights.down_wd.tolist(),
+    }
+
+
+def _weights_from_dict(data: Dict[str, Any]) -> SwitchingWeights:
+    return SwitchingWeights(
+        template_dt=float(data["template_dt"]),
+        up_wu=np.asarray(data["up_wu"], dtype=float),
+        up_wd=np.asarray(data["up_wd"], dtype=float),
+        down_wu=np.asarray(data["down_wu"], dtype=float),
+        down_wd=np.asarray(data["down_wd"], dtype=float),
+    )
+
+
+def macromodel_to_dict(model) -> Dict[str, Any]:
+    """Convert a driver or receiver macromodel into a JSON-compatible dict."""
+    if isinstance(model, DriverMacromodel):
+        return {
+            "format_version": _FORMAT_VERSION,
+            "kind": "driver",
+            "name": model.name,
+            "sampling_time": model.sampling_time,
+            "submodel_up": _rbf_submodel_to_dict(model.submodel_up),
+            "submodel_down": _rbf_submodel_to_dict(model.submodel_down),
+            "weights": _weights_to_dict(model.weights),
+        }
+    if isinstance(model, ReceiverMacromodel):
+        return {
+            "format_version": _FORMAT_VERSION,
+            "kind": "receiver",
+            "name": model.name,
+            "sampling_time": model.sampling_time,
+            "linear": _linear_submodel_to_dict(model.linear),
+            "protection_up": _rbf_submodel_to_dict(model.protection_up),
+            "protection_down": _rbf_submodel_to_dict(model.protection_down),
+        }
+    raise TypeError(f"unsupported macromodel type: {type(model).__name__}")
+
+
+def macromodel_from_dict(data: Dict[str, Any]):
+    """Rebuild a macromodel from the dictionary produced by :func:`macromodel_to_dict`."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported macromodel format version: {version!r}")
+    kind = data.get("kind")
+    if kind == "driver":
+        return DriverMacromodel(
+            submodel_up=_rbf_submodel_from_dict(data["submodel_up"]),
+            submodel_down=_rbf_submodel_from_dict(data["submodel_down"]),
+            weights=_weights_from_dict(data["weights"]),
+            sampling_time=float(data["sampling_time"]),
+            name=data.get("name", "driver"),
+        )
+    if kind == "receiver":
+        return ReceiverMacromodel(
+            linear=_linear_submodel_from_dict(data["linear"]),
+            protection_up=_rbf_submodel_from_dict(data["protection_up"]),
+            protection_down=_rbf_submodel_from_dict(data["protection_down"]),
+            sampling_time=float(data["sampling_time"]),
+            name=data.get("name", "receiver"),
+        )
+    raise ValueError(f"unknown macromodel kind: {kind!r}")
+
+
+def save_macromodel(model, path: str) -> None:
+    """Write a single macromodel to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(macromodel_to_dict(model), handle, indent=2)
+
+
+def load_macromodel(path: str):
+    """Read a single macromodel from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return macromodel_from_dict(data)

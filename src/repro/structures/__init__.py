@@ -1,0 +1,16 @@
+"""Canned geometries of the paper's two test structures.
+
+* :mod:`repro.structures.validation_line` — the coplanar-strip transmission
+  line of Figure 3 (validation example, Figures 4 and 5).
+* :mod:`repro.structures.pcb` — the 5 cm x 5 cm PCB with three coupled
+  strips, vias and double-sided metallisation of Figure 6 (field-coupling
+  example, Figure 7).
+"""
+
+from repro.structures.validation_line import (
+    ValidationLineStructure,
+    estimate_line_parameters,
+)
+from repro.structures.pcb import PCBStructure
+
+__all__ = ["ValidationLineStructure", "estimate_line_parameters", "PCBStructure"]

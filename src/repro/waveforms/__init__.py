@@ -1,0 +1,68 @@
+"""Waveform and signal utilities.
+
+This subpackage provides the signal substrate used throughout the
+reproduction: stimulus generation (bit patterns, trapezoidal edges,
+Gaussian pulses), uniform resampling/interpolation between the macromodel
+sampling time ``Ts`` and the FDTD time step ``dt``, and waveform analysis
+metrics (delay, overshoot, settling time, RMS/maximum deviation) used to
+compare the different simulation engines of the paper's Figures 4, 5 and 7.
+"""
+
+from repro.waveforms.signals import (
+    BitPattern,
+    GaussianPulse,
+    PiecewiseLinearWaveform,
+    RaisedCosineEdge,
+    SampledWaveform,
+    StepWaveform,
+    TrapezoidalPulse,
+    bit_pattern_waveform,
+    gaussian_pulse,
+    trapezoid,
+)
+from repro.waveforms.sampling import (
+    UniformGrid,
+    linear_resample,
+    resample_waveform,
+    time_axis,
+)
+from repro.waveforms.analysis import (
+    WaveformComparison,
+    compare_waveforms,
+    crossing_times,
+    max_abs_error,
+    overshoot,
+    propagation_delay,
+    rms_error,
+    settling_time,
+    undershoot,
+)
+from repro.waveforms.eye import EyeDiagram, eye_diagram
+
+__all__ = [
+    "BitPattern",
+    "GaussianPulse",
+    "PiecewiseLinearWaveform",
+    "RaisedCosineEdge",
+    "SampledWaveform",
+    "StepWaveform",
+    "TrapezoidalPulse",
+    "bit_pattern_waveform",
+    "gaussian_pulse",
+    "trapezoid",
+    "UniformGrid",
+    "linear_resample",
+    "resample_waveform",
+    "time_axis",
+    "WaveformComparison",
+    "compare_waveforms",
+    "crossing_times",
+    "max_abs_error",
+    "overshoot",
+    "propagation_delay",
+    "rms_error",
+    "settling_time",
+    "undershoot",
+    "EyeDiagram",
+    "eye_diagram",
+]

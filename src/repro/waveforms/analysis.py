@@ -1,0 +1,184 @@
+"""Waveform comparison and signal-integrity metrics.
+
+The paper validates the hybrid FDTD/macromodel method by visually
+overlaying termination voltages computed by four different engines
+(Figures 4 and 5).  To make that comparison quantitative and testable we
+provide RMS/maximum deviation metrics, threshold-crossing extraction,
+propagation delay, overshoot/undershoot and settling time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "rms_error",
+    "max_abs_error",
+    "crossing_times",
+    "propagation_delay",
+    "overshoot",
+    "undershoot",
+    "settling_time",
+    "WaveformComparison",
+    "compare_waveforms",
+]
+
+
+def _as_1d(x) -> np.ndarray:
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError("expected a 1-D array")
+    return arr
+
+
+def rms_error(reference: Sequence[float], candidate: Sequence[float]) -> float:
+    """Root-mean-square deviation between two equally sampled waveforms."""
+    ref = _as_1d(reference)
+    cand = _as_1d(candidate)
+    if ref.shape != cand.shape:
+        raise ValueError("waveforms must have the same length")
+    return float(np.sqrt(np.mean((ref - cand) ** 2)))
+
+
+def max_abs_error(reference: Sequence[float], candidate: Sequence[float]) -> float:
+    """Maximum absolute deviation between two equally sampled waveforms."""
+    ref = _as_1d(reference)
+    cand = _as_1d(candidate)
+    if ref.shape != cand.shape:
+        raise ValueError("waveforms must have the same length")
+    return float(np.max(np.abs(ref - cand)))
+
+
+def crossing_times(
+    times: Sequence[float],
+    values: Sequence[float],
+    threshold: float,
+    rising: bool | None = None,
+) -> np.ndarray:
+    """Times at which the waveform crosses ``threshold``.
+
+    Crossings are located by linear interpolation between samples.  If
+    ``rising`` is ``True`` only upward crossings are returned, if ``False``
+    only downward ones, and if ``None`` both.
+    """
+    t = _as_1d(times)
+    v = _as_1d(values)
+    if t.shape != v.shape:
+        raise ValueError("times and values must have the same length")
+    above = v >= threshold
+    change = np.flatnonzero(above[1:] != above[:-1])
+    out = []
+    for idx in change:
+        v0, v1 = v[idx], v[idx + 1]
+        is_rising = v1 > v0
+        if rising is True and not is_rising:
+            continue
+        if rising is False and is_rising:
+            continue
+        frac = (threshold - v0) / (v1 - v0)
+        out.append(t[idx] + frac * (t[idx + 1] - t[idx]))
+    return np.asarray(out, dtype=float)
+
+
+def propagation_delay(
+    times: Sequence[float],
+    input_values: Sequence[float],
+    output_values: Sequence[float],
+    threshold: float,
+    rising: bool = True,
+) -> float:
+    """Delay between the first ``threshold`` crossings of two waveforms.
+
+    This is the standard 50 %-crossing propagation delay when ``threshold``
+    is set to the logic midpoint.  Raises ``ValueError`` when either
+    waveform never crosses the threshold in the requested direction.
+    """
+    tin = crossing_times(times, input_values, threshold, rising=rising)
+    tout = crossing_times(times, output_values, threshold, rising=rising)
+    if tin.size == 0 or tout.size == 0:
+        raise ValueError("waveforms do not cross the threshold")
+    return float(tout[0] - tin[0])
+
+
+def overshoot(values: Sequence[float], high: float) -> float:
+    """Peak excursion above the nominal ``high`` level (>= 0)."""
+    v = _as_1d(values)
+    return float(max(0.0, np.max(v) - high))
+
+
+def undershoot(values: Sequence[float], low: float) -> float:
+    """Peak excursion below the nominal ``low`` level (>= 0)."""
+    v = _as_1d(values)
+    return float(max(0.0, low - np.min(v)))
+
+
+def settling_time(
+    times: Sequence[float],
+    values: Sequence[float],
+    final_value: float,
+    tolerance: float,
+) -> float:
+    """Time after which the waveform stays within ``tolerance`` of ``final_value``.
+
+    Returned relative to the first time sample.  If the waveform never
+    settles the total duration is returned.
+    """
+    t = _as_1d(times)
+    v = _as_1d(values)
+    if t.shape != v.shape:
+        raise ValueError("times and values must have the same length")
+    outside = np.abs(v - final_value) > tolerance
+    if not np.any(outside):
+        return 0.0
+    last_outside = np.flatnonzero(outside)[-1]
+    if last_outside == t.size - 1:
+        return float(t[-1] - t[0])
+    return float(t[last_outside + 1] - t[0])
+
+
+@dataclasses.dataclass(frozen=True)
+class WaveformComparison:
+    """Summary statistics of the deviation between two waveforms.
+
+    Attributes
+    ----------
+    rms:
+        Root-mean-square deviation.
+    max_abs:
+        Maximum absolute deviation.
+    rms_relative:
+        RMS deviation normalised by the reference peak-to-peak swing.
+    """
+
+    rms: float
+    max_abs: float
+    rms_relative: float
+
+    def within(self, rms_rel_tol: float) -> bool:
+        """True when the relative RMS deviation is below ``rms_rel_tol``."""
+        return self.rms_relative <= rms_rel_tol
+
+
+def compare_waveforms(
+    reference: Sequence[float], candidate: Sequence[float]
+) -> WaveformComparison:
+    """Compare two equally sampled waveforms.
+
+    The relative RMS figure uses the reference peak-to-peak swing as the
+    normalisation, which is the natural scale for the rail-to-rail digital
+    waveforms of the paper.
+    """
+    ref = _as_1d(reference)
+    cand = _as_1d(candidate)
+    if ref.shape != cand.shape:
+        raise ValueError("waveforms must have the same length")
+    swing = float(np.max(ref) - np.min(ref))
+    rms = rms_error(ref, cand)
+    return WaveformComparison(
+        rms=rms,
+        max_abs=max_abs_error(ref, cand),
+        rms_relative=rms / swing if swing > 0 else float("inf"),
+    )

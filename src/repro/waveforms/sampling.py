@@ -1,0 +1,97 @@
+"""Uniform time grids and resampling helpers.
+
+The hybridisation of Section 3 of the paper hinges on moving waveforms and
+models between two time grids: the macromodel sampling time ``Ts`` fixed at
+identification time, and the FDTD time step ``dt`` fixed by the Courant
+condition.  This module holds the plain waveform-level resampling helpers;
+the model-level resampling operator (the matrix ``Q`` of Eq. 13) lives in
+:mod:`repro.core.resampling`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["UniformGrid", "time_axis", "linear_resample", "resample_waveform"]
+
+
+@dataclasses.dataclass(frozen=True)
+class UniformGrid:
+    """A uniform time grid ``t_k = t0 + k dt`` for ``k = 0 .. n-1``."""
+
+    t0: float
+    dt: float
+    n: int
+
+    def __post_init__(self):
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.n < 1:
+            raise ValueError("n must be at least 1")
+
+    @classmethod
+    def from_duration(cls, duration: float, dt: float, t0: float = 0.0) -> "UniformGrid":
+        """Grid covering ``[t0, t0 + duration]`` inclusive of the endpoint."""
+        n = int(np.floor(duration / dt + 0.5)) + 1
+        return cls(t0=t0, dt=dt, n=n)
+
+    @property
+    def times(self) -> np.ndarray:
+        """The array of grid times."""
+        return self.t0 + self.dt * np.arange(self.n)
+
+    @property
+    def duration(self) -> float:
+        """Span from the first to the last grid point."""
+        return self.dt * (self.n - 1)
+
+    def resampling_factor(self, other_dt: float) -> float:
+        """The factor ``tau = other_dt / dt`` of the paper's Eq. (13)."""
+        return other_dt / self.dt
+
+
+def time_axis(duration: float, dt: float, t0: float = 0.0) -> np.ndarray:
+    """Uniform time samples covering ``[t0, t0 + duration]``."""
+    return UniformGrid.from_duration(duration, dt, t0).times
+
+
+def linear_resample(
+    times: np.ndarray, values: np.ndarray, new_times: np.ndarray
+) -> np.ndarray:
+    """Linearly interpolate ``values`` from ``times`` onto ``new_times``.
+
+    Values outside the original range are held constant (zero-order
+    extension), matching the behaviour of the waveform classes.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    new_times = np.asarray(new_times, dtype=float)
+    if times.shape != values.shape:
+        raise ValueError("times and values must have the same shape")
+    if times.size < 2:
+        raise ValueError("need at least two samples to resample")
+    if np.any(np.diff(times) <= 0):
+        raise ValueError("times must be strictly increasing")
+    return np.interp(new_times, times, values)
+
+
+def resample_waveform(
+    values: np.ndarray, old_dt: float, new_dt: float, t0: float = 0.0
+) -> np.ndarray:
+    """Resample a uniformly sampled waveform onto a new uniform step.
+
+    The output covers the same time span as the input (its last sample is
+    the last input time rounded down to a multiple of ``new_dt``).
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("values must be 1-D")
+    if old_dt <= 0 or new_dt <= 0:
+        raise ValueError("time steps must be positive")
+    old_times = t0 + old_dt * np.arange(values.size)
+    duration = old_dt * (values.size - 1)
+    n_new = int(np.floor(duration / new_dt)) + 1
+    new_times = t0 + new_dt * np.arange(n_new)
+    return np.interp(new_times, old_times, values)

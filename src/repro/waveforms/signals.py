@@ -1,0 +1,369 @@
+"""Stimulus waveform generators.
+
+The paper drives its structures with digital bit patterns (the '010'
+sequence of Section 4) and with a Gaussian incident plane-wave pulse
+(Figure 7).  This module provides callable waveform objects for those
+stimuli plus a handful of generic building blocks (steps, trapezoids,
+raised-cosine edges, piecewise-linear segments and pre-sampled data).
+
+Every waveform is a callable ``w(t)`` accepting either a scalar time or a
+numpy array of times and returning values of the same shape.  Waveforms are
+deliberately stateless so that the same object can be shared by several
+simulation engines (SPICE-class, 1-D FDTD, 3-D FDTD) without coupling them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "Waveform",
+    "StepWaveform",
+    "TrapezoidalPulse",
+    "RaisedCosineEdge",
+    "GaussianPulse",
+    "PiecewiseLinearWaveform",
+    "SampledWaveform",
+    "BitPattern",
+    "trapezoid",
+    "gaussian_pulse",
+    "bit_pattern_waveform",
+]
+
+
+class Waveform:
+    """Base class for time-domain waveforms.
+
+    Subclasses implement :meth:`__call__`.  The base class provides
+    composition helpers (sum, product, scaling and time shifting) so that
+    complex stimuli can be assembled from simple parts.
+    """
+
+    def __call__(self, t):
+        raise NotImplementedError
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        """Evaluate the waveform on an array of time points."""
+        return np.asarray(self(np.asarray(times, dtype=float)), dtype=float)
+
+    def shifted(self, delay: float) -> "ShiftedWaveform":
+        """Return a copy delayed by ``delay`` seconds."""
+        return ShiftedWaveform(self, delay)
+
+    def scaled(self, gain: float) -> "ScaledWaveform":
+        """Return a copy multiplied by ``gain``."""
+        return ScaledWaveform(self, gain)
+
+    def __add__(self, other: "Waveform") -> "SumWaveform":
+        return SumWaveform(self, other)
+
+    def __mul__(self, gain: float) -> "ScaledWaveform":
+        return ScaledWaveform(self, float(gain))
+
+    __rmul__ = __mul__
+
+
+@dataclasses.dataclass(frozen=True)
+class ShiftedWaveform(Waveform):
+    """A waveform delayed in time: ``w(t - delay)``."""
+
+    base: Waveform
+    delay: float
+
+    def __call__(self, t):
+        return self.base(np.asarray(t, dtype=float) - self.delay)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScaledWaveform(Waveform):
+    """A waveform multiplied by a constant gain."""
+
+    base: Waveform
+    gain: float
+
+    def __call__(self, t):
+        return self.gain * np.asarray(self.base(t), dtype=float)
+
+
+@dataclasses.dataclass(frozen=True)
+class SumWaveform(Waveform):
+    """The pointwise sum of two waveforms."""
+
+    first: Waveform
+    second: Waveform
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.asarray(self.first(t), dtype=float) + np.asarray(
+            self.second(t), dtype=float
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class StepWaveform(Waveform):
+    """A step from ``low`` to ``high`` with a linear ramp.
+
+    Parameters
+    ----------
+    low, high:
+        Values before and after the transition.
+    t_start:
+        Time at which the ramp begins.
+    rise_time:
+        Duration of the linear ramp.  ``0`` yields an ideal step.
+    """
+
+    low: float = 0.0
+    high: float = 1.0
+    t_start: float = 0.0
+    rise_time: float = 0.0
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        if self.rise_time <= 0.0:
+            frac = np.where(t >= self.t_start, 1.0, 0.0)
+        else:
+            frac = np.clip((t - self.t_start) / self.rise_time, 0.0, 1.0)
+        return self.low + (self.high - self.low) * frac
+
+
+@dataclasses.dataclass(frozen=True)
+class TrapezoidalPulse(Waveform):
+    """A single trapezoidal pulse.
+
+    The pulse sits at ``low`` before ``t_start``, ramps linearly to ``high``
+    over ``rise_time``, stays there for ``width``, and ramps back over
+    ``fall_time``.
+    """
+
+    low: float = 0.0
+    high: float = 1.0
+    t_start: float = 0.0
+    rise_time: float = 1e-10
+    width: float = 1e-9
+    fall_time: float = 1e-10
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        t0 = self.t_start
+        t1 = t0 + self.rise_time
+        t2 = t1 + self.width
+        t3 = t2 + self.fall_time
+        rise = np.clip((t - t0) / max(self.rise_time, 1e-300), 0.0, 1.0)
+        fall = np.clip((t - t2) / max(self.fall_time, 1e-300), 0.0, 1.0)
+        frac = rise - fall
+        # Beyond t3 the two clipped ramps cancel exactly; nothing else needed.
+        del t1, t3
+        return self.low + (self.high - self.low) * frac
+
+
+@dataclasses.dataclass(frozen=True)
+class RaisedCosineEdge(Waveform):
+    """A smooth (C1-continuous) edge from ``low`` to ``high``.
+
+    Digital driver output waveforms have rounded corners; a raised-cosine
+    edge is a convenient smooth surrogate when synthesising training
+    waveforms for macromodel identification.
+    """
+
+    low: float = 0.0
+    high: float = 1.0
+    t_start: float = 0.0
+    rise_time: float = 1e-10
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        x = np.clip((t - self.t_start) / max(self.rise_time, 1e-300), 0.0, 1.0)
+        frac = 0.5 * (1.0 - np.cos(np.pi * x))
+        return self.low + (self.high - self.low) * frac
+
+
+@dataclasses.dataclass(frozen=True)
+class GaussianPulse(Waveform):
+    """A Gaussian pulse ``A exp(-(t-t0)^2 / (2 sigma^2))``.
+
+    The paper's Figure 7 excitation is a plane wave with a Gaussian time
+    signature of 2 kV/m amplitude and 9.2 GHz bandwidth.  The bandwidth is
+    interpreted as the frequency at which the pulse spectrum drops to
+    ``exp(-0.5)`` of its peak, giving ``sigma = 1 / (2 pi f_bw)``.
+    """
+
+    amplitude: float = 1.0
+    t_center: float = 0.0
+    sigma: float = 1e-10
+
+    @classmethod
+    def from_bandwidth(
+        cls, amplitude: float, bandwidth_hz: float, t_center: float | None = None
+    ) -> "GaussianPulse":
+        """Build a pulse whose spectral width matches ``bandwidth_hz``.
+
+        If ``t_center`` is omitted the pulse is centred at ``4 sigma`` so
+        that it starts (numerically) from zero at ``t = 0``.
+        """
+        sigma = 1.0 / (2.0 * np.pi * bandwidth_hz)
+        if t_center is None:
+            t_center = 4.0 * sigma
+        return cls(amplitude=amplitude, t_center=t_center, sigma=sigma)
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        arg = (t - self.t_center) / self.sigma
+        return self.amplitude * np.exp(-0.5 * arg * arg)
+
+    @property
+    def bandwidth_hz(self) -> float:
+        """Equivalent bandwidth (see :meth:`from_bandwidth`)."""
+        return 1.0 / (2.0 * np.pi * self.sigma)
+
+
+class PiecewiseLinearWaveform(Waveform):
+    """Piecewise-linear waveform through ``(time, value)`` breakpoints.
+
+    Equivalent to the SPICE ``PWL`` source.  Values are held constant
+    outside the breakpoint range.
+    """
+
+    def __init__(self, times: Sequence[float], values: Sequence[float]):
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.ndim != 1 or times.shape != values.shape:
+            raise ValueError("times and values must be 1-D arrays of equal length")
+        if times.size < 2:
+            raise ValueError("need at least two breakpoints")
+        if np.any(np.diff(times) <= 0):
+            raise ValueError("breakpoint times must be strictly increasing")
+        self.times = times
+        self.values = values
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.interp(t, self.times, self.values)
+
+
+class SampledWaveform(Waveform):
+    """A waveform defined by uniformly sampled data.
+
+    Used to replay waveforms recorded by one engine (e.g. a transistor-level
+    transient used for macromodel identification) as a stimulus for another.
+    Linear interpolation is used between samples, with constant extension
+    outside the sampled interval.
+    """
+
+    def __init__(self, t0: float, dt: float, samples: Sequence[float]):
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 1 or samples.size < 2:
+            raise ValueError("samples must be a 1-D array with at least two entries")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.t0 = float(t0)
+        self.dt = float(dt)
+        self.samples = samples
+
+    @property
+    def times(self) -> np.ndarray:
+        """The sample time axis."""
+        return self.t0 + self.dt * np.arange(self.samples.size)
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.interp(t, self.times, self.samples)
+
+
+@dataclasses.dataclass(frozen=True)
+class BitPattern(Waveform):
+    """A digital bit pattern with trapezoidal transitions.
+
+    This reproduces the paper's driver stimulus: a logic input forcing the
+    pattern ``'010'`` with a bit time of 2 ns.  The waveform holds the value
+    of each bit (``low`` or ``high``) for ``bit_time`` seconds and moves
+    between levels with linear edges of duration ``edge_time`` centred at
+    the bit boundary.
+    """
+
+    pattern: str = "010"
+    bit_time: float = 2e-9
+    low: float = 0.0
+    high: float = 1.8
+    edge_time: float = 1e-10
+    t_start: float = 0.0
+
+    def __post_init__(self):
+        if not self.pattern or any(ch not in "01" for ch in self.pattern):
+            raise ValueError("pattern must be a non-empty string of '0' and '1'")
+        if self.bit_time <= 0:
+            raise ValueError("bit_time must be positive")
+        if self.edge_time < 0 or self.edge_time > self.bit_time:
+            raise ValueError("edge_time must lie in [0, bit_time]")
+
+    def _level(self, bit: str) -> float:
+        return self.high if bit == "1" else self.low
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.full(t.shape if t.ndim else (), self._level(self.pattern[0]), dtype=float)
+        out = np.atleast_1d(out).astype(float)
+        tt = np.atleast_1d(t)
+        prev = self._level(self.pattern[0])
+        for k, bit in enumerate(self.pattern):
+            level = self._level(bit)
+            t_edge = self.t_start + k * self.bit_time
+            if k == 0:
+                out[:] = level
+                prev = level
+                continue
+            if level != prev:
+                if self.edge_time > 0:
+                    frac = np.clip((tt - t_edge) / self.edge_time, 0.0, 1.0)
+                else:
+                    frac = np.where(tt >= t_edge, 1.0, 0.0)
+                out = out + (level - prev) * frac
+            prev = level
+        if np.ndim(t) == 0:
+            return float(out[0])
+        return out
+
+    @property
+    def duration(self) -> float:
+        """Total duration of the pattern."""
+        return self.t_start + len(self.pattern) * self.bit_time
+
+
+def trapezoid(
+    low: float,
+    high: float,
+    t_start: float,
+    rise_time: float,
+    width: float,
+    fall_time: float,
+) -> TrapezoidalPulse:
+    """Convenience constructor for :class:`TrapezoidalPulse`."""
+    return TrapezoidalPulse(
+        low=low,
+        high=high,
+        t_start=t_start,
+        rise_time=rise_time,
+        width=width,
+        fall_time=fall_time,
+    )
+
+
+def gaussian_pulse(amplitude: float, bandwidth_hz: float) -> GaussianPulse:
+    """Gaussian pulse with the given amplitude and equivalent bandwidth."""
+    return GaussianPulse.from_bandwidth(amplitude, bandwidth_hz)
+
+
+def bit_pattern_waveform(
+    pattern: str,
+    bit_time: float,
+    low: float = 0.0,
+    high: float = 1.8,
+    edge_time: float = 1e-10,
+) -> BitPattern:
+    """Convenience constructor for :class:`BitPattern`."""
+    return BitPattern(
+        pattern=pattern, bit_time=bit_time, low=low, high=high, edge_time=edge_time
+    )

@@ -1,0 +1,33 @@
+"""Shared fixtures: reference device parameters and library macromodels.
+
+The library macromodels take a second or two to fit, so they are built once
+per test session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.macromodel.library import (
+    ReferenceDeviceParameters,
+    make_reference_driver_macromodel,
+    make_reference_receiver_macromodel,
+)
+
+
+@pytest.fixture(scope="session")
+def params() -> ReferenceDeviceParameters:
+    """Default synthetic 1.8 V CMOS technology parameters."""
+    return ReferenceDeviceParameters()
+
+
+@pytest.fixture(scope="session")
+def driver_model(params):
+    """Session-wide analytic reference driver macromodel."""
+    return make_reference_driver_macromodel(params)
+
+
+@pytest.fixture(scope="session")
+def receiver_model(params):
+    """Session-wide analytic reference receiver macromodel."""
+    return make_reference_receiver_macromodel(params)

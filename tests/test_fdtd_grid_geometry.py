@@ -1,0 +1,194 @@
+"""Tests for the Yee grid, geometry helpers, Courant limit and plane wave."""
+
+import numpy as np
+import pytest
+
+from repro.fdtd.constants import C0, EPS0, ETA0, MU0
+from repro.fdtd.courant import courant_number, courant_time_step
+from repro.fdtd.geometry import add_pec_box, add_pec_plate, add_pec_wire, add_via
+from repro.fdtd.grid import YeeGrid
+from repro.fdtd.plane_wave import PlaneWaveSource
+from repro.waveforms.signals import GaussianPulse
+
+
+class TestConstants:
+    def test_relations(self):
+        assert C0 == pytest.approx(1.0 / np.sqrt(EPS0 * MU0))
+        assert ETA0 == pytest.approx(np.sqrt(MU0 / EPS0))
+        assert ETA0 == pytest.approx(376.73, rel=1e-4)
+
+
+class TestCourant:
+    def test_cubic_cell_limit(self):
+        d = 1e-3
+        dt = courant_time_step(d, safety=1.0)
+        assert dt == pytest.approx(d / (C0 * np.sqrt(3.0)))
+
+    def test_safety_factor(self):
+        assert courant_time_step(1e-3, safety=0.5) == pytest.approx(
+            0.5 * courant_time_step(1e-3, safety=1.0)
+        )
+
+    def test_courant_number(self):
+        d = 1e-3
+        dt = courant_time_step(d, safety=1.0)
+        assert courant_number(dt, d) == pytest.approx(1.0)
+        assert courant_number(0.5 * dt, d) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            courant_time_step(-1.0)
+        with pytest.raises(ValueError):
+            courant_time_step(1e-3, safety=1.5)
+
+
+class TestYeeGrid:
+    def test_field_shapes(self):
+        g = YeeGrid(4, 5, 6, 1e-3)
+        assert g.e_shape("x") == (4, 6, 7)
+        assert g.e_shape("y") == (5, 5, 7)
+        assert g.e_shape("z") == (5, 6, 6)
+        assert g.h_shape("x") == (5, 5, 6)
+        assert g.h_shape("y") == (4, 6, 6)
+        assert g.h_shape("z") == (4, 5, 7)
+
+    def test_edge_permittivity_uniform(self):
+        g = YeeGrid(3, 3, 3, 1e-3)
+        for axis in "xyz":
+            eps = g.edge_permittivity(axis)
+            assert eps.shape == g.e_shape(axis)
+            np.testing.assert_allclose(eps, EPS0)
+
+    def test_edge_permittivity_interface_average(self):
+        g = YeeGrid(4, 4, 4, 1e-3)
+        g.set_box_epsr((0, 4), (0, 4), (0, 2), 4.0)
+        eps_x = g.edge_permittivity("x")
+        # an Ex edge at the dielectric interface (k=2) averages 4.0 and 1.0
+        assert eps_x[1, 2, 2] == pytest.approx(2.5 * EPS0)
+        # deep inside the dielectric
+        assert eps_x[1, 2, 1] == pytest.approx(4.0 * EPS0)
+        # in the air region
+        assert eps_x[1, 2, 3] == pytest.approx(EPS0)
+
+    def test_set_box_epsr_validation(self):
+        g = YeeGrid(4, 4, 4, 1e-3)
+        with pytest.raises(ValueError):
+            g.set_box_epsr((0, 5), (0, 4), (0, 4), 4.0)
+        with pytest.raises(ValueError):
+            g.set_box_epsr((0, 4), (0, 4), (0, 4), -1.0)
+
+    def test_edge_coordinates_offsets(self):
+        g = YeeGrid(3, 3, 3, 1e-3, 2e-3, 3e-3)
+        x, y, z = g.edge_coordinates("x")
+        assert x[0, 0, 0] == pytest.approx(0.5e-3)
+        assert y[0, 1, 0] == pytest.approx(2e-3)
+        assert z[0, 0, 1] == pytest.approx(3e-3)
+        xm, ym, zm = g.edge_coordinates("z", mask=np.ones(g.e_shape("z"), dtype=bool))
+        assert xm.ndim == 1 and xm.size == np.prod(g.e_shape("z"))
+
+    def test_cell_cross_section_and_length(self):
+        g = YeeGrid(3, 3, 3, 1e-3, 2e-3, 3e-3)
+        assert g.edge_length("y") == 2e-3
+        assert g.cell_cross_section("y") == pytest.approx(3e-6)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            YeeGrid(1, 5, 5, 1e-3)
+
+
+class TestGeometry:
+    def test_plate_normal_z_masks_tangential_edges(self):
+        g = YeeGrid(6, 6, 6, 1e-3)
+        add_pec_plate(g, "z", 3, (1, 5), (2, 4))
+        assert g.pec_x[2, 3, 3]
+        assert g.pec_y[3, 2, 3]
+        assert not g.pec_z.any()
+        # outside the plate
+        assert not g.pec_x[0, 3, 3]
+
+    def test_plate_other_normals(self):
+        g = YeeGrid(6, 6, 6, 1e-3)
+        add_pec_plate(g, "x", 2, (1, 4), (1, 4))
+        assert g.pec_y[2, 2, 2]
+        assert g.pec_z[2, 2, 2]
+        g2 = YeeGrid(6, 6, 6, 1e-3)
+        add_pec_plate(g2, "y", 2, (1, 4), (1, 4))
+        assert g2.pec_z[2, 2, 2]
+        assert g2.pec_x[2, 2, 2]
+
+    def test_wire_and_via(self):
+        g = YeeGrid(6, 6, 6, 1e-3)
+        add_pec_wire(g, "y", (2, 1, 3), 3)
+        assert g.pec_y[2, 1, 3] and g.pec_y[2, 3, 3]
+        assert not g.pec_y[2, 4, 3]
+        add_via(g, 4, 4, (1, 4))
+        assert g.pec_z[4, 4, 1] and g.pec_z[4, 4, 3]
+
+    def test_box(self):
+        g = YeeGrid(6, 6, 6, 1e-3)
+        add_pec_box(g, (1, 3), (1, 3), (1, 3))
+        assert g.pec_x[1, 2, 2]
+        assert g.pec_z[2, 2, 1]
+
+    def test_invalid_ranges(self):
+        g = YeeGrid(6, 6, 6, 1e-3)
+        with pytest.raises(ValueError):
+            add_pec_plate(g, "z", 3, (3, 3), (1, 2))
+        with pytest.raises(ValueError):
+            add_pec_wire(g, "q", (0, 0, 0), 1)
+        with pytest.raises(ValueError):
+            add_via(g, 1, 1, (3, 3))
+
+
+class TestPlaneWave:
+    def test_paper_direction_and_polarisation(self):
+        src = PlaneWaveSource.paper_figure7()
+        # theta=90, phi=180: arrival from -x, propagation along +x
+        np.testing.assert_allclose(src.k_hat, [1.0, 0.0, 0.0], atol=1e-12)
+        # theta polarisation at theta=90 is -z
+        np.testing.assert_allclose(src.p_hat, [0.0, 0.0, -1.0], atol=1e-12)
+
+    def test_retardation_delays_downstream_points(self):
+        pulse = GaussianPulse.from_bandwidth(1.0, 5e9)
+        src = PlaneWaveSource(90.0, 180.0, pulse, amplitude=1.0)
+        g = YeeGrid(10, 10, 10, 1e-2)
+        src.bind(g)
+        t = pulse.t_center  # peak reaches the upstream corner at this time
+        e_up = src.e_field("z", np.array(0.0), np.array(0.0), np.array(0.0), t)
+        e_down = src.e_field("z", np.array(0.09), np.array(0.0), np.array(0.0), t)
+        assert abs(e_up) > abs(e_down)
+
+    def test_zero_component_along_unpolarised_axis(self):
+        src = PlaneWaveSource.paper_figure7()
+        out = src.e_field("y", np.zeros(3), np.zeros(3), np.zeros(3), 1e-9)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_amplitude_scaling(self):
+        pulse = GaussianPulse.from_bandwidth(1.0, 9.2e9)
+        src = PlaneWaveSource(90.0, 180.0, pulse, amplitude=2000.0)
+        g = YeeGrid(4, 4, 4, 1e-3)
+        src.bind(g)
+        value = src.e_field("z", np.array(0.0), np.array(0.0), np.array(0.0), pulse.t_center)
+        assert abs(value) == pytest.approx(2000.0, rel=1e-6)
+
+    def test_derivative_matches_finite_difference(self):
+        pulse = GaussianPulse.from_bandwidth(1.0, 9.2e9)
+        src = PlaneWaveSource(90.0, 180.0, pulse, amplitude=1.0)
+        g = YeeGrid(4, 4, 4, 1e-3)
+        src.bind(g)
+        x = np.array(1e-3)
+        y = np.array(0.0)
+        z = np.array(0.0)
+        t = pulse.t_center * 0.8
+        h = 1e-14
+        fd = (src.e_field("z", x, y, z, t + h) - src.e_field("z", x, y, z, t - h)) / (2 * h)
+        assert src.de_field_dt("z", x, y, z, t) == pytest.approx(fd, rel=1e-3)
+
+    def test_phi_polarisation(self):
+        pulse = GaussianPulse.from_bandwidth(1.0, 5e9)
+        src = PlaneWaveSource(90.0, 0.0, pulse, polarization="phi")
+        np.testing.assert_allclose(src.p_hat, [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_invalid_polarisation(self):
+        with pytest.raises(ValueError):
+            PlaneWaveSource(90.0, 0.0, lambda t: 0.0, polarization="circular")

@@ -1,0 +1,210 @@
+"""Tests for macromodel identification and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.macromodel.driver import LogicStimulus
+from repro.macromodel.identification import (
+    SwitchingRecord,
+    extract_switching_weights,
+    fit_linear_submodel,
+    fit_rbf_submodel,
+)
+from repro.macromodel.library import (
+    DeviceLibrary,
+    ReferenceDeviceParameters,
+    make_reference_driver_macromodel,
+    make_reference_receiver_macromodel,
+)
+from repro.macromodel.serialization import (
+    load_macromodel,
+    macromodel_from_dict,
+    macromodel_to_dict,
+    save_macromodel,
+)
+
+
+def _static_nonlinear_record(n=800, seed=0):
+    """Synthetic record of a memoryless nonlinear port: i = tanh(2 v) * 10 mA."""
+    rng = np.random.default_rng(seed)
+    v = np.convolve(rng.uniform(-1.0, 1.0, n), np.ones(6) / 6, mode="same")
+    i = 0.01 * np.tanh(2.0 * v)
+    return v, i
+
+
+class TestFitRBFSubmodel:
+    def test_fit_recovers_static_nonlinearity(self):
+        v, i = _static_nonlinear_record()
+        res = fit_rbf_submodel(v, i, dynamic_order=2, n_centers=60, beta=0.5, seed=1)
+        assert res.rms_error < 5e-4
+        # evaluate on a fresh point with a consistent history
+        sub = res.submodel
+        v0 = 0.4
+        truth = 0.01 * np.tanh(2 * v0)
+        pred = sub.current(v0, np.full(2, v0), np.full(2, truth))
+        assert pred == pytest.approx(truth, abs=1e-3)
+
+    def test_fit_captures_capacitive_dynamics(self):
+        ts = 25e-12
+        c = 2e-12
+        rng = np.random.default_rng(2)
+        v = np.convolve(rng.uniform(0, 1.8, 1000), np.ones(8) / 8, mode="same")
+        dv = np.concatenate(([0.0], np.diff(v)))
+        i = 0.02 * v + c * dv / ts
+        res = fit_rbf_submodel(v, i, dynamic_order=2, n_centers=80, beta=0.5, seed=2)
+        assert res.rms_error < 1e-3
+
+    def test_deterministic_for_fixed_seed(self):
+        v, i = _static_nonlinear_record()
+        a = fit_rbf_submodel(v, i, 2, n_centers=30, seed=7)
+        b = fit_rbf_submodel(v, i, 2, n_centers=30, seed=7)
+        np.testing.assert_allclose(a.submodel.expansion.weights, b.submodel.expansion.weights)
+
+    def test_separate_target_fit(self):
+        v, i = _static_nonlinear_record()
+        residual_target = i - 0.005 * v
+        res = fit_rbf_submodel(v, i, 2, n_centers=60, beta=0.5, target=residual_target)
+        assert res.rms_error < 1e-3
+
+    def test_target_length_mismatch_rejected(self):
+        v, i = _static_nonlinear_record(n=100)
+        with pytest.raises(ValueError):
+            fit_rbf_submodel(v, i, 2, target=np.zeros(50))
+
+    def test_n_centers_capped_at_samples(self):
+        v, i = _static_nonlinear_record(n=30)
+        res = fit_rbf_submodel(v, i, 2, n_centers=500)
+        assert res.submodel.expansion.n_centers <= 28
+
+
+class TestFitLinearSubmodel:
+    def test_recovers_known_arx_coefficients(self):
+        rng = np.random.default_rng(3)
+        v = rng.normal(size=500)
+        i = np.zeros(500)
+        for m in range(2, 500):
+            i[m] = 0.3 * v[m] - 0.1 * v[m - 1] + 0.05 * v[m - 2] + 0.2 * i[m - 1]
+        res = fit_linear_submodel(v, i, dynamic_order=2)
+        sub = res.submodel
+        assert sub.b0 == pytest.approx(0.3, abs=1e-6)
+        assert sub.b_past[0] == pytest.approx(-0.1, abs=1e-6)
+        assert sub.a_past[0] == pytest.approx(0.2, abs=1e-6)
+        assert res.rms_error < 1e-9
+
+
+class TestSwitchingWeightExtraction:
+    def test_extraction_on_synthetic_two_state_port(self, driver_model, params):
+        """Build synthetic switching records from the known submodels and a
+        prescribed weight trajectory; the extraction must recover it."""
+        ts = params.sampling_time
+        n = 60
+        ramp = np.clip(np.arange(n) / 20.0, 0.0, 1.0)
+        w_u_true, w_d_true = ramp, 1.0 - ramp
+        records = []
+        for load, v_ref in ((100.0, 0.0), (100.0, params.vdd)):
+            v = np.zeros(n)
+            i = np.zeros(n)
+            xv = np.zeros(2)
+            xi = np.zeros(2)
+            for m in range(n):
+                # solve w_u i_u(v) + w_d i_d(v) = (v_ref - v)/load for v by bisection
+                lo, hi = -0.5, params.vdd + 0.5
+                for _ in range(60):
+                    mid = 0.5 * (lo + hi)
+                    f = (
+                        w_u_true[m] * driver_model.submodel_up.current(mid, xv, xi)
+                        + w_d_true[m] * driver_model.submodel_down.current(mid, xv, xi)
+                        - (v_ref - mid) / load
+                    )
+                    if f > 0:
+                        hi = mid
+                    else:
+                        lo = mid
+                v[m] = 0.5 * (lo + hi)
+                i[m] = (v_ref - v[m]) / load * -1.0 * -1.0  # current into device = -(v-v_ref)/load
+                i[m] = -(v[m] - v_ref) / load
+                xv = np.concatenate(([v[m]], xv[:-1]))
+                xi = np.concatenate(([i[m]], xi[:-1]))
+            records.append(SwitchingRecord(v=v, i=i))
+        w_u, w_d = extract_switching_weights(
+            driver_model.submodel_up, driver_model.submodel_down, records, ts, "up"
+        )
+        # templates are padded by r samples at the start
+        r = driver_model.dynamic_order
+        recovered = w_u[r : r + 40]
+        np.testing.assert_allclose(recovered, w_u_true[:40], atol=0.12)
+
+    def test_requires_two_records(self, driver_model):
+        rec = SwitchingRecord(v=np.zeros(10), i=np.zeros(10))
+        with pytest.raises(ValueError):
+            extract_switching_weights(
+                driver_model.submodel_up, driver_model.submodel_down, [rec], 25e-12, "up"
+            )
+
+    def test_bad_direction_rejected(self, driver_model):
+        rec = SwitchingRecord(v=np.zeros(10), i=np.zeros(10))
+        with pytest.raises(ValueError):
+            extract_switching_weights(
+                driver_model.submodel_up, driver_model.submodel_down, [rec, rec], 25e-12, "sideways"
+            )
+
+
+class TestLibraryAndSerialization:
+    def test_library_round_trip(self, tmp_path, driver_model, receiver_model):
+        lib = DeviceLibrary()
+        lib.add(driver_model)
+        lib.add(receiver_model)
+        path = str(tmp_path / "library.json")
+        lib.save(path)
+        loaded = DeviceLibrary.load(path)
+        assert set(loaded.names()) == set(lib.names())
+        drv = loaded.get(driver_model.name)
+        np.testing.assert_allclose(
+            drv.submodel_up.expansion.weights, driver_model.submodel_up.expansion.weights
+        )
+
+    def test_driver_serialisation_preserves_behaviour(self, tmp_path, driver_model):
+        path = str(tmp_path / "driver.json")
+        save_macromodel(driver_model, path)
+        loaded = load_macromodel(path)
+        stim = LogicStimulus.from_pattern("010", 2e-9)
+        a = driver_model.bound(stim)
+        b = loaded.bound(stim)
+        xv = np.full(2, 0.9)
+        xi = np.zeros(2)
+        for t in (0.5e-9, 2.2e-9, 3.5e-9):
+            assert a.current(0.9, xv, xi, t) == pytest.approx(b.current(0.9, xv, xi, t), rel=1e-12)
+
+    def test_receiver_serialisation_round_trip(self, receiver_model):
+        data = macromodel_to_dict(receiver_model)
+        loaded = macromodel_from_dict(data)
+        xv = np.full(2, 2.3)
+        xi = np.zeros(2)
+        assert loaded.current(2.3, xv, xi) == pytest.approx(receiver_model.current(2.3, xv, xi))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            macromodel_from_dict({"format_version": 1, "kind": "mystery"})
+
+    def test_unsupported_version_rejected(self, driver_model):
+        data = macromodel_to_dict(driver_model)
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            macromodel_from_dict(data)
+
+    def test_library_rejects_unnamed_model(self):
+        lib = DeviceLibrary()
+        with pytest.raises(ValueError):
+            lib.add(object())
+
+    def test_with_reference_devices(self):
+        lib = DeviceLibrary.with_reference_devices(ReferenceDeviceParameters())
+        assert len(lib) == 2
+        assert "cmos18_driver" in lib
+
+    def test_reference_models_are_usable(self):
+        params = ReferenceDeviceParameters()
+        drv = make_reference_driver_macromodel(params, n_centers=40)
+        rx = make_reference_receiver_macromodel(params, n_centers=20)
+        assert drv.dynamic_order == params.dynamic_order
+        assert rx.dynamic_order == params.dynamic_order

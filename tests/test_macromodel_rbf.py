@@ -1,0 +1,114 @@
+"""Unit tests for the Gaussian RBF expansion and submodels."""
+
+import numpy as np
+import pytest
+
+from repro.macromodel.rbf import GaussianRBFExpansion, RBFSubmodel
+
+
+def _simple_expansion(dim=3, n_centers=4, beta=0.8, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n_centers, dim))
+    weights = rng.normal(size=n_centers)
+    return GaussianRBFExpansion(centers=centers, weights=weights, beta=beta)
+
+
+class TestGaussianRBFExpansion:
+    def test_value_at_center_single_basis(self):
+        exp_ = GaussianRBFExpansion(centers=[[1.0, 2.0]], weights=[3.0], beta=1.0)
+        assert exp_(np.array([1.0, 2.0])) == pytest.approx(3.0)
+
+    def test_decay_away_from_center(self):
+        exp_ = GaussianRBFExpansion(centers=[[0.0]], weights=[1.0], beta=0.5)
+        assert exp_(np.array([0.0])) > exp_(np.array([1.0])) > exp_(np.array([2.0])) > 0.0
+
+    def test_batch_matches_single(self):
+        exp_ = _simple_expansion()
+        pts = np.random.default_rng(1).normal(size=(6, 3))
+        batch = exp_(pts)
+        singles = np.array([exp_(p) for p in pts])
+        np.testing.assert_allclose(batch, singles)
+
+    def test_gradient_matches_finite_difference(self):
+        exp_ = _simple_expansion()
+        x = np.array([0.3, -0.2, 0.4])
+        grad = exp_.gradient(x)
+        h = 1e-6
+        for k in range(3):
+            xp, xm = x.copy(), x.copy()
+            xp[k] += h
+            xm[k] -= h
+            fd = (exp_(xp) - exp_(xm)) / (2 * h)
+            assert grad[k] == pytest.approx(fd, rel=1e-5, abs=1e-8)
+
+    def test_gradient_rejects_batch_input(self):
+        exp_ = _simple_expansion()
+        with pytest.raises(ValueError):
+            exp_.gradient(np.zeros((2, 3)))
+
+    def test_dimension_mismatch_raises(self):
+        exp_ = _simple_expansion(dim=3)
+        with pytest.raises(ValueError):
+            exp_(np.zeros(4))
+
+    def test_center_weight_count_mismatch(self):
+        with pytest.raises(ValueError):
+            GaussianRBFExpansion(centers=np.zeros((3, 2)), weights=np.zeros(2), beta=1.0)
+
+    def test_non_positive_beta_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianRBFExpansion(centers=np.zeros((1, 1)), weights=np.zeros(1), beta=0.0)
+
+    def test_design_matrix_shape(self):
+        exp_ = _simple_expansion(n_centers=5)
+        pts = np.zeros((7, 3))
+        assert exp_.design_matrix(pts).shape == (7, 5)
+
+
+class TestRBFSubmodel:
+    def _submodel(self, r=2):
+        dim = 2 * r + 1
+        exp_ = _simple_expansion(dim=dim, n_centers=6)
+        return RBFSubmodel(expansion=exp_, dynamic_order=r, v_scale=1.8, i_scale=0.05)
+
+    def test_dimension_consistency_enforced(self):
+        exp_ = _simple_expansion(dim=4)
+        with pytest.raises(ValueError):
+            RBFSubmodel(expansion=exp_, dynamic_order=2)
+
+    def test_current_scales_with_i_scale(self):
+        r = 2
+        exp_ = GaussianRBFExpansion(centers=np.zeros((1, 2 * r + 1)), weights=[1.0], beta=2.0)
+        small = RBFSubmodel(exp_, r, v_scale=1.0, i_scale=0.01)
+        large = RBFSubmodel(exp_, r, v_scale=1.0, i_scale=0.1)
+        xv, xi = np.zeros(r), np.zeros(r)
+        assert large.current(0.0, xv, xi) == pytest.approx(10 * small.current(0.0, xv, xi))
+
+    def test_dcurrent_dv_matches_finite_difference(self):
+        sub = self._submodel()
+        xv = np.array([0.5, 0.2])
+        xi = np.array([0.01, -0.02])
+        v = 0.9
+        h = 1e-7
+        fd = (sub.current(v + h, xv, xi) - sub.current(v - h, xv, xi)) / (2 * h)
+        assert sub.dcurrent_dv(v, xv, xi) == pytest.approx(fd, rel=1e-4, abs=1e-9)
+
+    def test_current_batch_matches_loop(self):
+        sub = self._submodel()
+        rng = np.random.default_rng(3)
+        v = rng.uniform(0, 1.8, 5)
+        xv = rng.uniform(0, 1.8, (5, 2))
+        xi = rng.uniform(-0.05, 0.05, (5, 2))
+        batch = sub.current_batch(v, xv, xi)
+        singles = [sub.current(v[k], xv[k], xi[k]) for k in range(5)]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_regressor_shape_validation(self):
+        sub = self._submodel(r=2)
+        with pytest.raises(ValueError):
+            sub.current(0.0, np.zeros(3), np.zeros(2))
+
+    def test_bad_scales_rejected(self):
+        exp_ = _simple_expansion(dim=5)
+        with pytest.raises(ValueError):
+            RBFSubmodel(exp_, 2, v_scale=0.0)

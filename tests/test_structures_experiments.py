@@ -1,0 +1,146 @@
+"""Tests of the structure builders and the experiment harness (fast configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ports import ResistorTermination
+from repro.experiments.devices import identified_reference_macromodels
+from repro.experiments.fig2_stability import run_figure2
+from repro.experiments.newton_iterations import run_newton_iteration_study
+from repro.experiments.reporting import engine_agreement, format_table, sample_series
+from repro.core.cosim import SimulationResult
+from repro.structures.pcb import PCBStructure
+from repro.structures.validation_line import ValidationLineStructure
+
+
+class TestValidationLineStructure:
+    def test_paper_dimensions(self):
+        s = ValidationLineStructure.paper()
+        assert (s.nx, s.ny, s.nz) == (180, 24, 23)
+        assert s.mesh_size == pytest.approx(0.723e-3)
+
+    def test_scaled_keeps_cross_section(self):
+        s = ValidationLineStructure.scaled(0.25)
+        assert s.ny == ValidationLineStructure.paper().ny
+        assert s.nz == ValidationLineStructure.paper().nz
+        assert s.strip_length_cells == 40
+
+    def test_grid_has_two_strips_and_bridge_wires(self):
+        s = ValidationLineStructure.scaled(0.2)
+        grid = s.build_grid()
+        # strips are tangential-PEC plates at the two z planes
+        assert grid.pec_x[s.x_near + 1, s.y_port, s.k_bottom]
+        assert grid.pec_x[s.x_near + 1, s.y_port, s.k_top]
+        # bridge wires above the port edge at both ends
+        assert grid.pec_z[s.x_near, s.y_port, s.k_bottom + 1]
+        assert grid.pec_z[s.x_far, s.y_port, s.k_bottom + 1]
+        # the port edge itself is not PEC
+        assert not grid.pec_z[s.x_near, s.y_port, s.k_bottom]
+
+    def test_port_site_positions(self):
+        s = ValidationLineStructure.scaled(0.2)
+        near = s.port_site("n", "near", ResistorTermination(50.0))
+        far = s.port_site("f", "far", ResistorTermination(50.0))
+        assert near.node[0] == s.x_near
+        assert far.node[0] == s.x_far
+        with pytest.raises(ValueError):
+            s.port_site("x", "middle", ResistorTermination(50.0))
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            ValidationLineStructure.scaled(0.0)
+        with pytest.raises(ValueError):
+            ValidationLineStructure(margin_x=1)
+
+
+class TestPCBStructure:
+    def test_paper_dimensions(self):
+        s = PCBStructure.paper()
+        assert (s.nx, s.ny, s.nz) == (100, 100, 3)
+        # 5 cm board
+        assert s.nx * s.in_plane_cell == pytest.approx(0.05)
+
+    def test_grid_has_ground_planes_strips_and_vias(self):
+        s = PCBStructure.scaled(0.3)
+        grid = s.build_grid()
+        # metallisation covers the outer faces (tangential E masked)
+        assert grid.pec_x[2, 3, 0]
+        assert grid.pec_x[2, 3, s.nz]
+        # dielectric everywhere
+        np.testing.assert_allclose(grid.eps_r, 4.3)
+        # innermost top strip and its via exist
+        y_top = s.strip_y_positions()[1]
+        x_bot = s.strip_x_positions()[1]
+        assert grid.pec_x[s.margin + 1, y_top, s.k_top_strips]
+        assert grid.pec_z[x_bot, y_top, s.k_bottom_strips]
+
+    def test_port_sites(self):
+        s = PCBStructure.scaled(0.3)
+        drv = s.driver_port(ResistorTermination(50.0))
+        rx = s.receiver_port(ResistorTermination(50.0))
+        assert drv.axis == "z" and rx.axis == "z"
+        assert drv.node[2] == s.k_top_strips
+        assert rx.node[2] == 0
+        assert rx.flip is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PCBStructure(board_cells=10)
+        with pytest.raises(ValueError):
+            PCBStructure(board_cells=50, strip_length_cells=60)
+
+
+class TestFigure2Experiment:
+    def test_paper_criterion_reproduced(self):
+        fig2 = run_figure2(taus=(0.25, 0.5, 1.0, 1.5))
+        assert fig2.continuous_all_left_half_plane
+        assert fig2.resampled_stable[0.25]
+        assert fig2.resampled_stable[1.0]
+        assert not fig2.resampled_stable[1.5]
+        assert fig2.marching_bounded[0.5]
+        assert not fig2.marching_bounded[1.5]
+
+    def test_summary_rows_sorted(self):
+        fig2 = run_figure2(taus=(1.0, 0.25))
+        rows = fig2.summary_rows()
+        assert rows[0][0] == 0.25
+        assert rows[1][0] == 1.0
+
+
+class TestNewtonIterationStudy:
+    def test_max_iterations_matches_paper_claim(self, driver_model, receiver_model, params):
+        from repro.experiments.devices import ReferenceMacromodels
+
+        models = ReferenceMacromodels(driver=driver_model, receiver=receiver_model, params=params, source="library")
+        study = run_newton_iteration_study(scale=0.15, duration=1.5e-9, models=models)
+        # the paper reports at most 3 iterations at tol 1e-9; allow a small margin
+        assert study.max_iterations["fdtd1d-rbf"] <= 4
+        assert study.max_iterations["fdtd3d-rbf"] <= 4
+        assert study.tolerance == pytest.approx(1e-9)
+        assert all(count > 0 for count in study.histogram["fdtd1d-rbf"].values())
+
+
+class TestReportingAndCaching:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["xyz", 3]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_engine_agreement_identical_results(self):
+        t = np.linspace(0, 1e-9, 50)
+        res = SimulationResult(times=t, voltages={"near_end": np.sin(1e9 * t), "far_end": np.cos(1e9 * t)})
+        metrics = engine_agreement(res, res)
+        assert metrics["near_end"] == pytest.approx(0.0, abs=1e-15)
+
+    def test_sample_series(self):
+        t = np.linspace(0, 1e-9, 101)
+        res = SimulationResult(times=t, voltages={"near_end": t * 1e9})
+        out = sample_series(res, "near_end", [0.25e-9, 0.75e-9])
+        np.testing.assert_allclose(out, [0.25, 0.75], atol=1e-6)
+
+    def test_library_models_cached(self, params):
+        a = identified_reference_macromodels(params, use_identification=False)
+        b = identified_reference_macromodels(params, use_identification=False)
+        assert a is b
+        assert a.source == "library"

@@ -1,0 +1,168 @@
+"""Unit tests for waveform metrics, resampling and eye diagrams."""
+
+import numpy as np
+import pytest
+
+from repro.waveforms.analysis import (
+    compare_waveforms,
+    crossing_times,
+    max_abs_error,
+    overshoot,
+    propagation_delay,
+    rms_error,
+    settling_time,
+    undershoot,
+)
+from repro.waveforms.eye import eye_diagram
+from repro.waveforms.sampling import UniformGrid, linear_resample, resample_waveform, time_axis
+
+
+class TestErrors:
+    def test_rms_error_zero_for_identical(self):
+        w = np.sin(np.linspace(0, 1, 50))
+        assert rms_error(w, w) == 0.0
+
+    def test_rms_error_constant_offset(self):
+        w = np.zeros(10)
+        assert rms_error(w, w + 0.5) == pytest.approx(0.5)
+
+    def test_max_abs_error(self):
+        a = np.zeros(5)
+        b = np.array([0.0, 0.1, -0.4, 0.2, 0.0])
+        assert max_abs_error(a, b) == pytest.approx(0.4)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rms_error(np.zeros(4), np.zeros(5))
+
+    def test_compare_waveforms_relative(self):
+        ref = np.concatenate([np.zeros(50), np.ones(50) * 2.0])
+        cand = ref + 0.02
+        cmp_ = compare_waveforms(ref, cand)
+        assert cmp_.rms == pytest.approx(0.02)
+        assert cmp_.rms_relative == pytest.approx(0.01)
+        assert cmp_.within(0.02)
+        assert not cmp_.within(0.005)
+
+
+class TestCrossings:
+    def test_single_rising_crossing(self):
+        t = np.linspace(0, 1, 101)
+        v = t.copy()
+        out = crossing_times(t, v, 0.5, rising=True)
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_falling_only(self):
+        t = np.linspace(0, 1, 101)
+        v = 1.0 - t
+        assert crossing_times(t, v, 0.5, rising=True).size == 0
+        assert crossing_times(t, v, 0.5, rising=False).size == 1
+
+    def test_propagation_delay(self):
+        t = np.linspace(0, 10, 1001)
+        vin = (t > 1.0).astype(float)
+        vout = (t > 3.0).astype(float)
+        assert propagation_delay(t, vin, vout, 0.5) == pytest.approx(2.0, abs=0.02)
+
+    def test_propagation_delay_no_crossing_raises(self):
+        t = np.linspace(0, 1, 11)
+        with pytest.raises(ValueError):
+            propagation_delay(t, np.zeros(11), np.ones(11), 0.5)
+
+
+class TestOvershootSettling:
+    def test_overshoot(self):
+        v = np.array([0.0, 1.0, 1.4, 1.1, 1.0])
+        assert overshoot(v, 1.0) == pytest.approx(0.4)
+        assert overshoot(np.array([0.0, 0.9]), 1.0) == 0.0
+
+    def test_undershoot(self):
+        v = np.array([1.0, -0.3, 0.1])
+        assert undershoot(v, 0.0) == pytest.approx(0.3)
+
+    def test_settling_time(self):
+        t = np.linspace(0, 10, 101)
+        v = 1.0 + np.exp(-t) * np.cos(5 * t)
+        ts = settling_time(t, v, 1.0, tolerance=0.05)
+        assert 2.0 < ts < 5.0
+
+    def test_settling_time_already_settled(self):
+        t = np.linspace(0, 1, 11)
+        assert settling_time(t, np.ones(11), 1.0, 0.1) == 0.0
+
+
+class TestSampling:
+    def test_uniform_grid_times(self):
+        grid = UniformGrid(t0=0.0, dt=1e-9, n=5)
+        np.testing.assert_allclose(grid.times, np.arange(5) * 1e-9)
+        assert grid.duration == pytest.approx(4e-9)
+
+    def test_from_duration_includes_endpoint(self):
+        grid = UniformGrid.from_duration(1e-9, 0.25e-9)
+        assert grid.n == 5
+
+    def test_resampling_factor(self):
+        grid = UniformGrid(0.0, 25e-12, 10)
+        assert grid.resampling_factor(5e-12) == pytest.approx(0.2)
+
+    def test_time_axis(self):
+        t = time_axis(1e-9, 0.5e-9)
+        np.testing.assert_allclose(t, [0.0, 0.5e-9, 1e-9])
+
+    def test_linear_resample_matches_interp(self):
+        t = np.linspace(0, 1, 11)
+        v = t**2
+        new_t = np.linspace(0, 1, 21)
+        np.testing.assert_allclose(linear_resample(t, v, new_t), np.interp(new_t, t, v))
+
+    def test_resample_waveform_preserves_linear_ramp(self):
+        v = np.linspace(0.0, 1.0, 11)  # dt = 1
+        out = resample_waveform(v, 1.0, 0.5)
+        np.testing.assert_allclose(out, np.linspace(0.0, 1.0, 21), atol=1e-12)
+
+    def test_resample_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            resample_waveform(np.zeros(5), -1.0, 1.0)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            UniformGrid(0.0, 0.0, 5)
+        with pytest.raises(ValueError):
+            UniformGrid(0.0, 1.0, 0)
+
+
+class TestEyeDiagram:
+    def _bit_wave(self, pattern, bit_time=1e-9, dt=1e-11, high=1.0):
+        n_per = int(bit_time / dt)
+        v = np.concatenate([np.full(n_per, high if b == "1" else 0.0) for b in pattern])
+        t = dt * np.arange(v.size)
+        return t, v
+
+    def test_fold_counts(self):
+        t, v = self._bit_wave("0101011100")
+        eye = eye_diagram(t, v, 1e-9)
+        assert eye.n_traces == 10
+
+    def test_clean_eye_is_open(self):
+        t, v = self._bit_wave("01010111001010")
+        eye = eye_diagram(t, v, 1e-9)
+        assert eye.eye_height(0.0, 1.0) > 0.9
+        assert eye.eye_width(0.0, 1.0) > 0.5e-9
+
+    def test_closed_eye(self):
+        t, v = self._bit_wave("01010101")
+        v = 0.5 + 0.0 * v  # stuck at the threshold: no opening
+        eye = eye_diagram(t, v, 1e-9)
+        assert eye.eye_height(0.0, 1.0) == 0.0
+        assert eye.eye_width(0.0, 1.0) == 0.0
+
+    def test_rejects_non_uniform_times(self):
+        t = np.array([0.0, 1.0, 3.0, 4.0])
+        with pytest.raises(ValueError):
+            eye_diagram(t, np.zeros(4), 2.0)
+
+    def test_rejects_short_bit_time(self):
+        t, v = self._bit_wave("01")
+        with pytest.raises(ValueError):
+            eye_diagram(t, v, 1e-12)

@@ -1,0 +1,175 @@
+"""Unit tests for the stimulus waveform generators."""
+
+import numpy as np
+import pytest
+
+from repro.waveforms.signals import (
+    BitPattern,
+    GaussianPulse,
+    PiecewiseLinearWaveform,
+    RaisedCosineEdge,
+    SampledWaveform,
+    StepWaveform,
+    TrapezoidalPulse,
+    bit_pattern_waveform,
+    gaussian_pulse,
+    trapezoid,
+)
+
+
+class TestStepWaveform:
+    def test_levels_before_and_after(self):
+        step = StepWaveform(low=0.2, high=1.5, t_start=1e-9, rise_time=0.0)
+        assert step(0.0) == pytest.approx(0.2)
+        assert step(2e-9) == pytest.approx(1.5)
+
+    def test_linear_ramp_midpoint(self):
+        step = StepWaveform(low=0.0, high=2.0, t_start=0.0, rise_time=1e-9)
+        assert step(0.5e-9) == pytest.approx(1.0)
+
+    def test_vectorised_evaluation(self):
+        step = StepWaveform(high=1.0, t_start=1.0, rise_time=0.0)
+        out = step(np.array([0.0, 0.5, 1.5, 2.0]))
+        assert out.shape == (4,)
+        np.testing.assert_allclose(out, [0.0, 0.0, 1.0, 1.0])
+
+    def test_falling_step(self):
+        step = StepWaveform(low=1.8, high=0.0, t_start=0.0, rise_time=1e-9)
+        assert step(-1.0) == pytest.approx(1.8)
+        assert step(2e-9) == pytest.approx(0.0)
+
+
+class TestTrapezoidalPulse:
+    def test_plateau_value(self):
+        pulse = trapezoid(0.0, 1.0, 1e-9, 0.1e-9, 1e-9, 0.1e-9)
+        assert pulse(1.5e-9) == pytest.approx(1.0)
+
+    def test_returns_to_low_after_fall(self):
+        pulse = trapezoid(0.0, 1.0, 0.0, 0.1e-9, 1e-9, 0.1e-9)
+        assert pulse(5e-9) == pytest.approx(0.0)
+
+    def test_rise_midpoint(self):
+        pulse = TrapezoidalPulse(low=0.0, high=2.0, t_start=0.0, rise_time=1e-9, width=1e-9, fall_time=1e-9)
+        assert pulse(0.5e-9) == pytest.approx(1.0)
+
+    def test_value_before_start(self):
+        pulse = TrapezoidalPulse(low=-0.5, high=1.0, t_start=1e-9)
+        assert pulse(0.0) == pytest.approx(-0.5)
+
+
+class TestRaisedCosineEdge:
+    def test_endpoints(self):
+        edge = RaisedCosineEdge(low=0.0, high=1.8, t_start=0.0, rise_time=1e-9)
+        assert edge(0.0) == pytest.approx(0.0)
+        assert edge(1e-9) == pytest.approx(1.8)
+
+    def test_midpoint_is_halfway(self):
+        edge = RaisedCosineEdge(low=0.0, high=1.0, t_start=0.0, rise_time=2e-9)
+        assert edge(1e-9) == pytest.approx(0.5)
+
+    def test_monotonic(self):
+        edge = RaisedCosineEdge(rise_time=1e-9)
+        t = np.linspace(0, 1e-9, 50)
+        assert np.all(np.diff(edge(t)) >= 0)
+
+
+class TestGaussianPulse:
+    def test_peak_at_center(self):
+        pulse = GaussianPulse(amplitude=2.0, t_center=1e-9, sigma=0.1e-9)
+        assert pulse(1e-9) == pytest.approx(2.0)
+
+    def test_bandwidth_round_trip(self):
+        pulse = GaussianPulse.from_bandwidth(1.0, 9.2e9)
+        assert pulse.bandwidth_hz == pytest.approx(9.2e9)
+
+    def test_causal_default_centering(self):
+        pulse = GaussianPulse.from_bandwidth(2000.0, 9.2e9)
+        # essentially zero at t = 0 (centred at 4 sigma)
+        assert abs(pulse(0.0)) < 2000.0 * 4e-4
+
+    def test_symmetry(self):
+        pulse = GaussianPulse(amplitude=1.0, t_center=0.0, sigma=1e-9)
+        assert pulse(0.3e-9) == pytest.approx(pulse(-0.3e-9))
+
+
+class TestPiecewiseLinear:
+    def test_interpolation(self):
+        pwl = PiecewiseLinearWaveform([0.0, 1.0, 2.0], [0.0, 2.0, 0.0])
+        assert pwl(0.5) == pytest.approx(1.0)
+        assert pwl(1.5) == pytest.approx(1.0)
+
+    def test_constant_extension(self):
+        pwl = PiecewiseLinearWaveform([0.0, 1.0], [1.0, 3.0])
+        assert pwl(-5.0) == pytest.approx(1.0)
+        assert pwl(10.0) == pytest.approx(3.0)
+
+    def test_rejects_non_monotonic_times(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearWaveform([0.0, 1.0, 0.5], [0.0, 1.0, 2.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearWaveform([0.0, 1.0], [0.0, 1.0, 2.0])
+
+
+class TestSampledWaveform:
+    def test_replays_samples(self):
+        wave = SampledWaveform(0.0, 1e-9, [0.0, 1.0, 2.0, 3.0])
+        assert wave(2e-9) == pytest.approx(2.0)
+
+    def test_interpolates_between_samples(self):
+        wave = SampledWaveform(0.0, 1e-9, [0.0, 2.0])
+        assert wave(0.5e-9) == pytest.approx(1.0)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            SampledWaveform(0.0, 0.0, [0.0, 1.0])
+
+
+class TestBitPattern:
+    def test_paper_010_levels(self):
+        wave = BitPattern(pattern="010", bit_time=2e-9, low=0.0, high=1.8, edge_time=0.1e-9)
+        assert wave(1.0e-9) == pytest.approx(0.0)
+        assert wave(3.0e-9) == pytest.approx(1.8)
+        assert wave(5.0e-9) == pytest.approx(0.0)
+
+    def test_edge_midpoint(self):
+        wave = BitPattern(pattern="01", bit_time=1e-9, high=1.0, edge_time=0.2e-9)
+        assert wave(1.1e-9) == pytest.approx(0.5)
+
+    def test_duration(self):
+        wave = bit_pattern_waveform("0110", 2e-9)
+        assert wave.duration == pytest.approx(8e-9)
+
+    def test_rejects_bad_pattern(self):
+        with pytest.raises(ValueError):
+            BitPattern(pattern="01x", bit_time=1e-9)
+
+    def test_rejects_non_positive_bit_time(self):
+        with pytest.raises(ValueError):
+            BitPattern(pattern="01", bit_time=0.0)
+
+    def test_scalar_and_array_agree(self):
+        wave = BitPattern(pattern="010", bit_time=2e-9, high=1.8)
+        ts = np.array([0.5e-9, 2.5e-9, 4.5e-9])
+        arr = wave(ts)
+        for t, v in zip(ts, arr):
+            assert wave(float(t)) == pytest.approx(v)
+
+
+class TestComposition:
+    def test_sum_and_scale(self):
+        a = StepWaveform(high=1.0, t_start=0.0)
+        b = StepWaveform(high=2.0, t_start=0.0)
+        combo = a + 0.5 * b
+        assert combo(1.0) == pytest.approx(2.0)
+
+    def test_shift(self):
+        step = StepWaveform(high=1.0, t_start=0.0, rise_time=0.0)
+        shifted = step.shifted(1.0)
+        assert shifted(0.5) == pytest.approx(0.0)
+        assert shifted(1.5) == pytest.approx(1.0)
+
+    def test_gaussian_helper(self):
+        pulse = gaussian_pulse(2000.0, 9.2e9)
+        assert pulse.amplitude == pytest.approx(2000.0)
