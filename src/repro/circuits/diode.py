@@ -71,3 +71,38 @@ class Diode(Element):
         i_eq = i - g * vd
         self._stamp_conductance(A, ctx, anode, cathode, g)
         self._stamp_current(rhs, ctx, anode, cathode, i_eq)
+
+    # -- fast path ---------------------------------------------------------
+    def prepare_fast(self, compiled) -> None:
+        anode, cathode = self.nodes
+        self._fast_idx = (compiled.index_of(anode), compiled.index_of(cathode))
+
+    def stamp_fast(self, A, rhs, x, ctx: StampContext) -> None:
+        """Index-cached :meth:`stamp` used by the fast MNA assembler.
+
+        The characteristic of :meth:`current_and_conductance` is inlined —
+        avoiding the extra Python call per stamp is measurable in the
+        Newton inner loop.
+        """
+        ia, ic = self._fast_idx
+        va = x.item(ia) if ia is not None else 0.0
+        vc = x.item(ic) if ic is not None else 0.0
+        vd = va - vc
+        if vd <= self.knee_voltage:
+            expo = math.exp(vd / self.n_vt)
+            i = self.saturation_current * (expo - 1.0)
+            g = self.saturation_current * expo / self.n_vt
+        else:
+            expo = math.exp(self.knee_voltage / self.n_vt)
+            g = self.saturation_current * expo / self.n_vt
+            i = self.saturation_current * (expo - 1.0) + g * (vd - self.knee_voltage)
+        i_eq = i - g * vd
+        if ia is not None:
+            A[ia, ia] += g
+            rhs[ia] -= i_eq
+        if ic is not None:
+            A[ic, ic] += g
+            rhs[ic] += i_eq
+        if ia is not None and ic is not None:
+            A[ia, ic] -= g
+            A[ic, ia] -= g

@@ -57,10 +57,31 @@ class StampContext:
 
 
 class Element:
-    """Base class providing the default (empty) hooks."""
+    """Base class providing the default (empty) hooks.
+
+    Fast-path protocol (:mod:`repro.perf.mna`)
+    ------------------------------------------
+    ``stamp_kind`` classifies the element for the fast MNA assembler:
+
+    * ``"static"`` — the matrix stamp does not depend on the candidate
+      solution ``x`` (it is constant for a whole transient run, given the
+      step/method in ``ctx``), and the RHS stamp depends only on the step
+      (time and committed state), not on ``x``.  Static elements implement
+      :meth:`stamp_static` (matrix part, called once per run) and
+      :meth:`stamp_rhs` (RHS part, called once per time step), whose sum
+      must equal :meth:`stamp` for every ``x``.
+    * ``"dynamic"`` — everything else (nonlinear elements); the fast path
+      re-stamps these every Newton iteration via :meth:`stamp` (or the
+      optional index-cached ``stamp_fast``/``prepare_fast`` pair).
+
+    The default is ``"dynamic"``, which is always correct.
+    """
 
     #: extra current unknowns required by this element
     n_branch_currents = 0
+
+    #: classification used by the fast MNA assembler (see class docstring)
+    stamp_kind = "dynamic"
 
     def __init__(self, name: str, nodes: tuple[str, ...]):
         self.name = name
@@ -68,6 +89,17 @@ class Element:
 
     def stamp(self, A, rhs, x, ctx: StampContext) -> None:
         raise NotImplementedError
+
+    def stamp_static(self, A, ctx: StampContext) -> None:
+        """Matrix part of a static element's stamp (fast path, once per run)."""
+        raise NotImplementedError
+
+    def stamp_rhs(self, rhs, ctx: StampContext) -> None:
+        """RHS part of a static element's stamp (fast path, once per step)."""
+        raise NotImplementedError
+
+    def prepare_fast(self, compiled) -> None:
+        """Cache unknown-vector indices before a fast-path run (optional hook)."""
 
     def accept(self, x, ctx: StampContext) -> None:
         """Hook called after a time step has converged (default: no state)."""
@@ -105,6 +137,8 @@ class Element:
 class Resistor(Element):
     """A linear resistor between two nodes."""
 
+    stamp_kind = "static"
+
     def __init__(self, name: str, node_a: str, node_b: str, resistance: float):
         super().__init__(name, (node_a, node_b))
         if resistance <= 0:
@@ -114,9 +148,17 @@ class Resistor(Element):
     def stamp(self, A, rhs, x, ctx: StampContext) -> None:
         self._stamp_conductance(A, ctx, self.nodes[0], self.nodes[1], 1.0 / self.resistance)
 
+    def stamp_static(self, A, ctx: StampContext) -> None:
+        self._stamp_conductance(A, ctx, self.nodes[0], self.nodes[1], 1.0 / self.resistance)
+
+    def stamp_rhs(self, rhs, ctx: StampContext) -> None:
+        pass
+
 
 class Capacitor(Element):
     """A linear capacitor with trapezoidal / backward-Euler companion model."""
+
+    stamp_kind = "static"
 
     def __init__(self, name: str, node_a: str, node_b: str, capacitance: float, v0: float = 0.0):
         super().__init__(name, (node_a, node_b))
@@ -145,6 +187,17 @@ class Capacitor(Element):
         self._stamp_conductance(A, ctx, a, b, geq)
         self._stamp_current(rhs, ctx, a, b, i_hist)
 
+    def stamp_static(self, A, ctx: StampContext) -> None:
+        self._stamp_conductance(A, ctx, self.nodes[0], self.nodes[1], self._geq(ctx))
+
+    def stamp_rhs(self, rhs, ctx: StampContext) -> None:
+        geq = self._geq(ctx)
+        if ctx.method == "trapezoidal":
+            i_hist = -geq * self._v_prev - self._i_prev
+        else:
+            i_hist = -geq * self._v_prev
+        self._stamp_current(rhs, ctx, self.nodes[0], self.nodes[1], i_hist)
+
     def accept(self, x, ctx: StampContext) -> None:
         a, b = self.nodes
         v_new = ctx.node_voltage(x, a) - ctx.node_voltage(x, b)
@@ -161,6 +214,7 @@ class Inductor(Element):
     """A linear inductor (one extra branch-current unknown)."""
 
     n_branch_currents = 1
+    stamp_kind = "static"
 
     def __init__(self, name: str, node_a: str, node_b: str, inductance: float, i0: float = 0.0):
         super().__init__(name, (node_a, node_b))
@@ -194,6 +248,26 @@ class Inductor(Element):
         self._add(A, j, j, -req)
         self._add_rhs(rhs, j, v_hist)
 
+    def stamp_static(self, A, ctx: StampContext) -> None:
+        a, b = self.nodes
+        ia = ctx.compiled.index_of(a)
+        ib = ctx.compiled.index_of(b)
+        j = ctx.compiled.branch_index(self.name)
+        self._add(A, ia, j, 1.0)
+        self._add(A, ib, j, -1.0)
+        req = (2.0 if ctx.method == "trapezoidal" else 1.0) * self.inductance / ctx.dt
+        self._add(A, j, ia, 1.0)
+        self._add(A, j, ib, -1.0)
+        self._add(A, j, j, -req)
+
+    def stamp_rhs(self, rhs, ctx: StampContext) -> None:
+        j = ctx.compiled.branch_index(self.name)
+        if ctx.method == "trapezoidal":
+            v_hist = -2.0 * self.inductance / ctx.dt * self._i_prev - self._v_prev
+        else:
+            v_hist = -self.inductance / ctx.dt * self._i_prev
+        self._add_rhs(rhs, j, v_hist)
+
     def accept(self, x, ctx: StampContext) -> None:
         a, b = self.nodes
         j = ctx.compiled.branch_index(self.name)
@@ -211,17 +285,22 @@ class VoltageSource(Element):
     """
 
     n_branch_currents = 1
+    stamp_kind = "static"
 
     def __init__(self, name: str, node_plus: str, node_minus: str, waveform):
         super().__init__(name, (node_plus, node_minus))
         if callable(waveform):
             self.waveform: Callable[[float], float] = waveform
+            self._const_value: float | None = None
         else:
             value = float(waveform)
             self.waveform = lambda t, _value=value: _value
+            self._const_value = value
 
     def value(self, t: float) -> float:
         """Source voltage at time ``t``."""
+        if self._const_value is not None:
+            return self._const_value
         return float(self.waveform(t))
 
     def stamp(self, A, rhs, x, ctx: StampContext) -> None:
@@ -235,22 +314,48 @@ class VoltageSource(Element):
         self._add(A, j, ib, -1.0)
         self._add_rhs(rhs, j, self.value(ctx.t))
 
+    def stamp_static(self, A, ctx: StampContext) -> None:
+        a, b = self.nodes
+        ia = ctx.compiled.index_of(a)
+        ib = ctx.compiled.index_of(b)
+        j = ctx.compiled.branch_index(self.name)
+        self._add(A, ia, j, 1.0)
+        self._add(A, ib, j, -1.0)
+        self._add(A, j, ia, 1.0)
+        self._add(A, j, ib, -1.0)
+
+    def stamp_rhs(self, rhs, ctx: StampContext) -> None:
+        rhs[ctx.compiled.branch_index(self.name)] += self.value(ctx.t)
+
 
 class CurrentSource(Element):
     """An independent current source (positive current from + node to - node)."""
+
+    stamp_kind = "static"
 
     def __init__(self, name: str, node_plus: str, node_minus: str, waveform):
         super().__init__(name, (node_plus, node_minus))
         if callable(waveform):
             self.waveform: Callable[[float], float] = waveform
+            self._const_value: float | None = None
         else:
             value = float(waveform)
             self.waveform = lambda t, _value=value: _value
+            self._const_value = value
 
     def value(self, t: float) -> float:
         """Source current at time ``t``."""
+        if self._const_value is not None:
+            return self._const_value
         return float(self.waveform(t))
 
     def stamp(self, A, rhs, x, ctx: StampContext) -> None:
+        a, b = self.nodes
+        self._stamp_current(rhs, ctx, a, b, self.value(ctx.t))
+
+    def stamp_static(self, A, ctx: StampContext) -> None:
+        pass
+
+    def stamp_rhs(self, rhs, ctx: StampContext) -> None:
         a, b = self.nodes
         self._stamp_current(rhs, ctx, a, b, self.value(ctx.t))

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+import numpy as np
+
 __all__ = ["GROUND", "Circuit"]
 
 GROUND = "0"
@@ -86,6 +88,8 @@ class CompiledCircuit:
                 self.branch_offset[el.name] = offset
                 offset += n_branch
         self.n_unknowns = offset
+        #: node-diagonal index array for the vectorised ``gmin`` stamp
+        self.node_diagonal = np.arange(self.n_nodes)
 
     def index_of(self, node: str) -> int | None:
         """Index of a node in the unknown vector, or ``None`` for ground."""

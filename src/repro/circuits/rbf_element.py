@@ -47,6 +47,7 @@ class MacromodelElement(Element):
         v0: float = 0.0,
         i0: float = 0.0,
         allow_unstable: bool = False,
+        fast: bool | None = None,
     ):
         super().__init__(name, (node, ref))
         self._model = model
@@ -54,6 +55,7 @@ class MacromodelElement(Element):
         self._v0 = float(v0)
         self._i0 = float(i0)
         self._allow_unstable = bool(allow_unstable)
+        self._fast = fast
         self.reset()
 
     def reset(self) -> None:
@@ -64,6 +66,7 @@ class MacromodelElement(Element):
             v0=self._v0,
             i0=self._i0,
             t0=0.0,
+            fast=self._fast,
         )
 
     def stamp(self, A, rhs, x, ctx: StampContext) -> None:
@@ -74,6 +77,29 @@ class MacromodelElement(Element):
         i_eq = i - g * v
         self._stamp_conductance(A, ctx, node, ref, g)
         self._stamp_current(rhs, ctx, node, ref, i_eq)
+
+    # -- fast path ---------------------------------------------------------
+    def prepare_fast(self, compiled) -> None:
+        node, ref = self.nodes
+        self._fast_idx = (compiled.index_of(node), compiled.index_of(ref))
+
+    def stamp_fast(self, A, rhs, x, ctx: StampContext) -> None:
+        """Index-cached :meth:`stamp` used by the fast MNA assembler."""
+        i_node, i_ref = self._fast_idx
+        vn = x.item(i_node) if i_node is not None else 0.0
+        vr = x.item(i_ref) if i_ref is not None else 0.0
+        v = vn - vr
+        i, g = self.port.current_and_dcurrent(v, ctx.t)
+        i_eq = i - g * v
+        if i_node is not None:
+            A[i_node, i_node] += g
+            rhs[i_node] -= i_eq
+        if i_ref is not None:
+            A[i_ref, i_ref] += g
+            rhs[i_ref] += i_eq
+        if i_node is not None and i_ref is not None:
+            A[i_node, i_ref] -= g
+            A[i_ref, i_node] -= g
 
     def accept(self, x, ctx: StampContext) -> None:
         node, ref = self.nodes

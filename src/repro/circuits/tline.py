@@ -42,6 +42,7 @@ class IdealTransmissionLine(Element):
     """
 
     n_branch_currents = 2
+    stamp_kind = "static"
 
     def __init__(
         self,
@@ -63,22 +64,40 @@ class IdealTransmissionLine(Element):
         self.reset()
 
     def reset(self) -> None:
-        self._times: list[float] = []
-        self._wave_from_1: list[float] = []  # v1 + Z0 i1 history
-        self._wave_from_2: list[float] = []  # v2 + Z0 i2 history
+        # Accepted samples live in amortised-growth numpy buffers so the
+        # per-step interpolation works on array views instead of re-converting
+        # ever-growing python lists (a measured hot spot of long transients).
+        self._n_samples = 0
+        self._times_buf = np.empty(256)
+        self._wave1_buf = np.empty(256)  # v1 + Z0 i1 history
+        self._wave2_buf = np.empty(256)  # v2 + Z0 i2 history
 
-    def _history(self, values: list[float], t: float) -> float:
+    def _append_sample(self, t: float, w1: float, w2: float) -> None:
+        n = self._n_samples
+        if n == self._times_buf.size:
+            for name in ("_times_buf", "_wave1_buf", "_wave2_buf"):
+                old = getattr(self, name)
+                grown = np.empty(2 * old.size)
+                grown[: old.size] = old
+                setattr(self, name, grown)
+        self._times_buf[n] = t
+        self._wave1_buf[n] = w1
+        self._wave2_buf[n] = w2
+        self._n_samples = n + 1
+
+    def _history(self, values: np.ndarray, t: float) -> float:
         """Interpolated incident wave at time ``t`` (initial state before t=0)."""
-        if not self._times or t <= self._times[0]:
+        n = self._n_samples
+        if n == 0 or t <= self._times_buf[0]:
             return self.v_initial
-        if t >= self._times[-1]:
-            return values[-1]
-        return float(np.interp(t, self._times, values))
+        if t >= self._times_buf[n - 1]:
+            return float(values[n - 1])
+        return float(np.interp(t, self._times_buf[:n], values[:n]))
 
     def incident_voltages(self, t: float) -> tuple[float, float]:
         """The two history sources ``E1(t)`` and ``E2(t)`` at time ``t``."""
-        e1 = self._history(self._wave_from_2, t - self.delay)
-        e2 = self._history(self._wave_from_1, t - self.delay)
+        e1 = self._history(self._wave2_buf, t - self.delay)
+        e2 = self._history(self._wave1_buf, t - self.delay)
         return e1, e2
 
     def stamp(self, A, rhs, x, ctx: StampContext) -> None:
@@ -105,12 +124,31 @@ class IdealTransmissionLine(Element):
         self._add(A, j2, j2, -self.z0)
         self._add_rhs(rhs, j2, e2)
 
+    def stamp_static(self, A, ctx: StampContext) -> None:
+        p1p, p1m, p2p, p2m = self.nodes
+        idx = ctx.compiled.index_of
+        j1 = ctx.compiled.branch_index(self.name, 0)
+        j2 = ctx.compiled.branch_index(self.name, 1)
+        self._add(A, idx(p1p), j1, 1.0)
+        self._add(A, idx(p1m), j1, -1.0)
+        self._add(A, idx(p2p), j2, 1.0)
+        self._add(A, idx(p2m), j2, -1.0)
+        self._add(A, j1, idx(p1p), 1.0)
+        self._add(A, j1, idx(p1m), -1.0)
+        self._add(A, j1, j1, -self.z0)
+        self._add(A, j2, idx(p2p), 1.0)
+        self._add(A, j2, idx(p2m), -1.0)
+        self._add(A, j2, j2, -self.z0)
+
+    def stamp_rhs(self, rhs, ctx: StampContext) -> None:
+        e1, e2 = self.incident_voltages(ctx.t)
+        rhs[ctx.compiled.branch_index(self.name, 0)] += e1
+        rhs[ctx.compiled.branch_index(self.name, 1)] += e2
+
     def accept(self, x, ctx: StampContext) -> None:
         p1p, p1m, p2p, p2m = self.nodes
         v1 = ctx.node_voltage(x, p1p) - ctx.node_voltage(x, p1m)
         v2 = ctx.node_voltage(x, p2p) - ctx.node_voltage(x, p2m)
         i1 = float(x[ctx.compiled.branch_index(self.name, 0)])
         i2 = float(x[ctx.compiled.branch_index(self.name, 1)])
-        self._times.append(ctx.t)
-        self._wave_from_1.append(v1 + self.z0 * i1)
-        self._wave_from_2.append(v2 + self.z0 * i2)
+        self._append_sample(ctx.t, v1 + self.z0 * i1, v2 + self.z0 * i2)

@@ -7,6 +7,16 @@ companion stamps around the current candidate solution; dynamic elements
 use trapezoidal (default) or backward-Euler companion models.  A small
 ``gmin`` conductance from every node to ground keeps the Jacobian
 well-conditioned for nodes that would otherwise float (e.g. MOSFET gates).
+
+Two assembly paths are provided.  The reference path re-stamps every
+element into freshly zeroed arrays at every Newton iteration — simple,
+and kept as the correctness oracle.  The fast path (default, see
+:mod:`repro.perf.mna`) assembles the constant linear part once per run,
+the x-independent RHS once per step, re-stamps only the nonlinear
+elements per iteration, and reuses a cached LU factorization whenever the
+Jacobian is unchanged — a purely linear circuit is factorised exactly once
+for the whole transient.  Both paths agree to machine precision
+(``tests/test_perf_fastpath.py``).
 """
 
 from __future__ import annotations
@@ -17,8 +27,10 @@ from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.circuits.elements import StampContext
+from repro import perf
+from repro.circuits.elements import Element, StampContext
 from repro.circuits.netlist import Circuit, CompiledCircuit, GROUND
+from repro.perf.mna import FastPathAssembler
 
 __all__ = ["TransientOptions", "CircuitResult", "TransientSolver"]
 
@@ -43,6 +55,10 @@ class TransientOptions:
     max_delta_v:
         Per-iteration cap on node-voltage updates (simple damping for the
         exponential devices).
+    fast:
+        Use the fast assembly path of :mod:`repro.perf.mna`.  ``None``
+        (default) follows :func:`repro.perf.fastpath_default`; ``False``
+        selects the naive reference path.
     """
 
     method: str = "trapezoidal"
@@ -51,6 +67,7 @@ class TransientOptions:
     abstol_i: float = 1e-12
     gmin: float = 1e-12
     max_delta_v: float = 1.0
+    fast: bool | None = None
 
     def __post_init__(self):
         if self.method not in ("trapezoidal", "backward_euler"):
@@ -118,6 +135,15 @@ class TransientSolver:
         self.dt = float(dt)
         self.options = options or TransientOptions()
         self.compiled: CompiledCircuit = circuit.compile()
+        self.fast = perf.resolve_fast(self.options.fast)
+        #: assembly/solve counters of the last run (fast path only)
+        self.perf_stats: dict = {"mode": "fast" if self.fast else "reference"}
+        # Newton-update scratch (allocation-free convergence checks).
+        n = self.compiled.n_unknowns
+        self._delta = np.empty(n)
+        self._delta_abs = np.empty(n)
+        self._dabs_v = self._delta_abs[: self.compiled.n_nodes]
+        self._dabs_i = self._delta_abs[self.compiled.n_nodes :]
 
     # -- assembly ---------------------------------------------------------
     def _assemble(self, x: np.ndarray, t: float) -> tuple[np.ndarray, np.ndarray, StampContext]:
@@ -127,33 +153,45 @@ class TransientSolver:
         ctx = StampContext(self.compiled, self.dt, t, self.options.method)
         for element in self.circuit.elements:
             element.stamp(A, rhs, x, ctx)
-        # gmin from every node to ground
-        for k in range(self.compiled.n_nodes):
-            A[k, k] += self.options.gmin
+        # gmin from every node to ground (vectorised diagonal stamp)
+        diag = self.compiled.node_diagonal
+        A[diag, diag] += self.options.gmin
         return A, rhs, ctx
 
-    def _solve_step(self, x_prev: np.ndarray, t: float) -> tuple[np.ndarray, int, StampContext]:
+    def _solve_step(
+        self,
+        x_prev: np.ndarray,
+        t: float,
+        assembler: FastPathAssembler | None = None,
+    ) -> tuple[np.ndarray, int, StampContext]:
         opts = self.options
+        n_nodes = self.compiled.n_nodes
         x = x_prev.copy()
-        ctx = None
+        if assembler is not None:
+            ctx = assembler.begin_step(t)
+        else:
+            ctx = None
         for iteration in range(1, opts.max_newton_iterations + 1):
-            A, rhs, ctx = self._assemble(x, t)
-            try:
-                x_new = np.linalg.solve(A, rhs)
-            except np.linalg.LinAlgError:
-                x_new = np.linalg.lstsq(A, rhs, rcond=None)[0]
-            delta = x_new - x
+            if assembler is not None:
+                A, rhs = assembler.iterate(x, ctx)
+                x_new = assembler.solve(A, rhs)
+            else:
+                A, rhs, ctx = self._assemble(x, t)
+                try:
+                    x_new = np.linalg.solve(A, rhs)
+                except np.linalg.LinAlgError:
+                    x_new = np.linalg.lstsq(A, rhs, rcond=None)[0]
+            delta = np.subtract(x_new, x, out=self._delta)
+            np.abs(delta, out=self._delta_abs)
             # damp node-voltage updates
-            dv = delta[: self.compiled.n_nodes]
-            if dv.size and np.max(np.abs(dv)) > opts.max_delta_v:
-                scale = opts.max_delta_v / np.max(np.abs(dv))
-                delta = delta * scale
-                x = x + delta
+            dv_max = self._dabs_v.max() if n_nodes else 0.0
+            if dv_max > opts.max_delta_v:
+                scale = opts.max_delta_v / dv_max
+                x = x + delta * scale
                 continue
             x = x_new
-            di = delta[self.compiled.n_nodes :]
-            v_ok = dv.size == 0 or np.max(np.abs(dv)) < opts.abstol_v
-            i_ok = di.size == 0 or np.max(np.abs(di)) < opts.abstol_i
+            v_ok = dv_max < opts.abstol_v
+            i_ok = self._dabs_i.size == 0 or self._dabs_i.max() < opts.abstol_i
             if v_ok and i_ok:
                 return x, iteration, ctx
         return x, opts.max_newton_iterations, ctx
@@ -192,6 +230,14 @@ class TransientSolver:
         for element in self.circuit.elements:
             element.reset()
 
+        assembler: FastPathAssembler | None = None
+        if self.fast:
+            assembler = FastPathAssembler(
+                self.circuit, compiled, self.dt, self.options.method, self.options.gmin
+            )
+            assembler.begin_run()
+            self.perf_stats = assembler.stats
+
         x = np.zeros(compiled.n_unknowns)
         if initial_voltages:
             for node, value in initial_voltages.items():
@@ -215,25 +261,45 @@ class TransientSolver:
                 )
             ]
 
-        voltages = {n: np.zeros(n_steps + 1) for n in record_nodes}
-        currents = {f"{name}[{k}]": np.zeros(n_steps + 1) for name, k in record_branches}
+        # One gather per step into a preallocated table instead of per-signal
+        # python loops with dict lookups.
+        branch_keys = [f"{name}[{k}]" for name, k in record_branches]
+        rec_idx = np.array(
+            [compiled.index_of(n) for n in record_nodes]
+            + [compiled.branch_index(name, k) for name, k in record_branches],
+            dtype=np.intp,
+        )
+        recorded = np.zeros((n_steps + 1, rec_idx.size))
         iterations = np.zeros(n_steps + 1, dtype=int)
 
-        def record(step: int, vec: np.ndarray) -> None:
-            for node in record_nodes:
-                voltages[node][step] = compiled.voltage_of(vec, node)
-            for name, k in record_branches:
-                currents[f"{name}[{k}]"][step] = vec[compiled.branch_index(name, k)]
+        # Elements whose accept() is the no-op base hook need no per-step call.
+        accept_elements = [
+            el for el in self.circuit.elements if type(el).accept is not Element.accept
+        ]
 
-        record(0, x)
+        if rec_idx.size:
+            np.take(x, rec_idx, out=recorded[0])
 
         for step in range(1, n_steps + 1):
-            t = times[step]
-            x, n_iter, ctx = self._solve_step(x, t)
+            # Python-float time: every downstream scalar use (source
+            # waveforms, stamp contexts, memo keys) is faster than with a
+            # numpy scalar, and the value is identical.
+            t = float(times[step])
+            x, n_iter, ctx = self._solve_step(x, t, assembler)
             iterations[step] = n_iter
-            for element in self.circuit.elements:
+            for element in accept_elements:
                 element.accept(x, ctx)
-            record(step, x)
+            if rec_idx.size:
+                np.take(x, rec_idx, out=recorded[step])
+
+        n_rec_nodes = len(record_nodes)
+        voltages = {
+            node: recorded[:, k].copy() for k, node in enumerate(record_nodes)
+        }
+        currents = {
+            key: recorded[:, n_rec_nodes + k].copy()
+            for k, key in enumerate(branch_keys)
+        }
 
         return CircuitResult(
             times=times,

@@ -21,7 +21,11 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.core.newton import NewtonOptions, NewtonStats, newton_solve_scalar
+from repro.core.newton import (
+    NewtonOptions,
+    NewtonStats,
+    newton_solve_scalar_fused,
+)
 from repro.core.ports import LumpedTermination
 
 __all__ = ["HybridCellUpdate", "CellCoefficients"]
@@ -94,6 +98,7 @@ class HybridCellUpdate:
         self.termination = termination
         self.newton_options = newton_options or NewtonOptions()
         self.stats = stats if stats is not None else NewtonStats()
+        self._g_cached: float | None = None
 
     def solve(self, a: float, b: float, c: float, v_guess: float, t: float) -> tuple[float, float]:
         """Solve ``a v - b - c (i(v) + i_prev) = 0`` for the new voltage.
@@ -118,19 +123,29 @@ class HybridCellUpdate:
 
         if not self.termination.nonlinear:
             # Linear element: i(v) = i0 + g v with g constant; closed form.
-            g = self.termination.dcurrent_dv(v_guess, t)
+            # Terminations declaring a constant conductance are queried once.
+            g = self._g_cached
+            if g is None:
+                g = self.termination.dcurrent_dv(v_guess, t)
+                if self.termination.constant_conductance:
+                    self._g_cached = g
             i0 = self.termination.current(0.0, t)
             v_new = (b + c * (i0 + i_prev)) / (a - c * g)
             self.stats.record(0, True)
         else:
-            def residual(v: float) -> float:
-                return a * v - b - c * (self.termination.current(v, t) + i_prev)
+            termination = self.termination
 
-            def derivative(v: float) -> float:
-                return a - c * self.termination.dcurrent_dv(v, t)
+            def residual_and_derivative(v: float) -> tuple[float, float]:
+                # One fused model evaluation feeds both the residual and the
+                # Jacobian (a shared basis pass on the RBF fast path).
+                i, g = termination.current_and_dcurrent(v, t)
+                return a * v - b - c * (i + i_prev), a - c * g
 
-            result = newton_solve_scalar(
-                residual, derivative, v_guess, options=self.newton_options, stats=self.stats
+            result = newton_solve_scalar_fused(
+                residual_and_derivative,
+                v_guess,
+                options=self.newton_options,
+                stats=self.stats,
             )
             v_new = result.x
 

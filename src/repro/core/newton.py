@@ -17,7 +17,13 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["NewtonOptions", "NewtonStats", "NewtonResult", "newton_solve_scalar"]
+__all__ = [
+    "NewtonOptions",
+    "NewtonStats",
+    "NewtonResult",
+    "newton_solve_scalar",
+    "newton_solve_scalar_fused",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -135,6 +141,43 @@ def newton_solve_scalar(
             step = np.sign(step) * opts.max_step
         x = x + step
         f = float(residual(x))
+        iterations += 1
+        converged = abs(f) < opts.tolerance
+    if stats is not None:
+        stats.record(iterations, converged)
+    return NewtonResult(x=x, iterations=iterations, converged=converged, residual=abs(f))
+
+
+def newton_solve_scalar_fused(
+    residual_and_derivative: Callable[[float], tuple[float, float]],
+    x0: float,
+    options: NewtonOptions | None = None,
+    stats: NewtonStats | None = None,
+) -> NewtonResult:
+    """Damped Newton-Raphson with a fused residual/derivative callback.
+
+    Identical iteration to :func:`newton_solve_scalar` — the callback
+    returns ``(f(x), f'(x))`` in one call, which halves the evaluation
+    round-trips for models whose value and derivative come from one basis
+    pass (the separable RBF fast path).  The derivative of the *last*
+    iterate is computed but unused, exactly as in the two-callback variant.
+    """
+    opts = options or NewtonOptions()
+    x = float(x0)
+    f, dfdx = residual_and_derivative(x)
+    f = float(f)
+    iterations = 0
+    converged = abs(f) < opts.tolerance
+    while not converged and iterations < opts.max_iterations:
+        dfdx = float(dfdx)
+        if not np.isfinite(dfdx) or abs(dfdx) < opts.min_derivative:
+            dfdx = np.sign(dfdx) * opts.min_derivative if dfdx != 0 else opts.min_derivative
+        step = -f / dfdx
+        if opts.max_step is not None and abs(step) > opts.max_step:
+            step = np.sign(step) * opts.max_step
+        x = x + step
+        f, dfdx = residual_and_derivative(x)
+        f = float(f)
         iterations += 1
         converged = abs(f) < opts.tolerance
     if stats is not None:

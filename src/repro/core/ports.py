@@ -39,6 +39,10 @@ class LumpedTermination:
     #: solver must iterate; linear terminations can be folded analytically.
     nonlinear: bool = False
 
+    #: True when ``dcurrent_dv`` never changes over a run (all the provided
+    #: linear terminations); lets host solvers cache the conductance.
+    constant_conductance: bool = False
+
     def current(self, v: float, t: float) -> float:
         """Element current for candidate voltage ``v`` at time ``t``."""
         raise NotImplementedError
@@ -46,6 +50,15 @@ class LumpedTermination:
     def dcurrent_dv(self, v: float, t: float) -> float:
         """Analytic derivative of :meth:`current` with respect to ``v``."""
         raise NotImplementedError
+
+    def current_and_dcurrent(self, v: float, t: float) -> tuple[float, float]:
+        """Fused ``(current, dcurrent_dv)`` evaluation.
+
+        The default calls the two methods separately; macromodel
+        terminations override it to share one basis evaluation between the
+        value and the derivative (see :mod:`repro.perf.rbf_fast`).
+        """
+        return self.current(v, t), self.dcurrent_dv(v, t)
 
     def commit(self, v: float, t: float) -> float:
         """Accept ``v`` for this step, advance state, return the current."""
@@ -67,6 +80,8 @@ class LumpedTermination:
 class OpenTermination(LumpedTermination):
     """An open circuit (zero current for any voltage)."""
 
+    constant_conductance = True
+
     def current(self, v: float, t: float) -> float:
         return 0.0
 
@@ -76,6 +91,8 @@ class OpenTermination(LumpedTermination):
 
 class ResistorTermination(LumpedTermination):
     """A linear resistor to the reference conductor."""
+
+    constant_conductance = True
 
     def __init__(self, resistance: float):
         if resistance <= 0:
@@ -96,6 +113,8 @@ class ResistiveSourceTermination(LumpedTermination):
     Used for the matched 50 ohm terminations of the PCB example and as a
     simple linear stand-in for a driver.
     """
+
+    constant_conductance = True
 
     def __init__(self, resistance: float, source: Optional[Callable[[float], float]] = None):
         if resistance <= 0:
@@ -122,6 +141,8 @@ class ParallelRCTermination(LumpedTermination):
     element must be constructed with the solver ``dt`` and committed once
     per step.
     """
+
+    constant_conductance = True
 
     def __init__(self, resistance: float, capacitance: float, dt: float, v0: float = 0.0):
         if resistance <= 0 or capacitance < 0 or dt <= 0:
@@ -161,6 +182,12 @@ class MacromodelTermination(LumpedTermination):
 
     def __init__(self, port: ResampledPortModel):
         self.port = port
+        # Bind-through: these instance attributes shadow the class methods,
+        # removing one frame per Newton evaluation.  ``port`` is mutated in
+        # place by reset/commit, so the bound methods stay valid.
+        self.current = port.current
+        self.dcurrent_dv = port.dcurrent_dv
+        self.current_and_dcurrent = port.current_and_dcurrent
         self.reset(v0=port.last_voltage, i0=port.last_current, t0=port.time)
 
     @classmethod
@@ -172,10 +199,11 @@ class MacromodelTermination(LumpedTermination):
         i0: float = 0.0,
         t0: float = 0.0,
         allow_unstable: bool = False,
+        fast: bool | None = None,
     ) -> "MacromodelTermination":
         """Build the termination directly from a driver/receiver macromodel."""
         port = ResampledPortModel(
-            model, dt, allow_unstable=allow_unstable, v0=v0, i0=i0, t0=t0
+            model, dt, allow_unstable=allow_unstable, v0=v0, i0=i0, t0=t0, fast=fast
         )
         return cls(port)
 
@@ -189,6 +217,9 @@ class MacromodelTermination(LumpedTermination):
 
     def dcurrent_dv(self, v: float, t: float) -> float:
         return self.port.dcurrent_dv(v, t)
+
+    def current_and_dcurrent(self, v: float, t: float) -> tuple[float, float]:
+        return self.port.current_and_dcurrent(v, t)
 
     def commit(self, v: float, t: float) -> float:
         i = self.port.commit(v, t)

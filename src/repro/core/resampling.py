@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import perf
 from repro.macromodel.base import DiscreteTimePortModel
+from repro.perf.rbf_fast import build_fast_port_evaluator
 
 __all__ = [
     "resampling_matrix",
@@ -97,6 +99,11 @@ class ResampledPortModel:
         voltage of the port before the first switching event).
     t0:
         Absolute time of the first solver step.
+    fast:
+        Use the separable per-step evaluator of
+        :mod:`repro.perf.rbf_fast` for driver/receiver macromodels.
+        ``None`` (default) follows :func:`repro.perf.fastpath_default`;
+        ``False`` always evaluates through the naive model methods.
     """
 
     def __init__(
@@ -107,6 +114,7 @@ class ResampledPortModel:
         v0: float = 0.0,
         i0: float = 0.0,
         t0: float = 0.0,
+        fast: bool | None = None,
     ):
         if dt <= 0:
             raise ValueError("dt must be positive")
@@ -122,6 +130,8 @@ class ResampledPortModel:
         self.tau = float(tau)
         self.dynamic_order = int(model.dynamic_order)
         self._q = resampling_matrix(self.dynamic_order, self.tau)
+        self._fast = build_fast_port_evaluator(model) if perf.resolve_fast(fast) else None
+        self._state_version = 0
         self.reset(v0=v0, i0=i0, t0=t0)
 
     def reset(self, v0: float = 0.0, i0: float = 0.0, t0: float = 0.0) -> None:
@@ -131,16 +141,33 @@ class ResampledPortModel:
         self.time = float(t0)
         self.last_current = float(i0)
         self.last_voltage = float(v0)
+        self._state_version += 1
 
     def current(self, v: float, t: float | None = None) -> float:
         """Port current for a candidate voltage ``v`` at the current step."""
         t_eval = self.time if t is None else t
+        if self._fast is not None:
+            return self._fast.current(v, self.x_v, self.x_i, t_eval, self._state_version)
         return self.model.current(v, self.x_v, self.x_i, t_eval)
 
     def dcurrent_dv(self, v: float, t: float | None = None) -> float:
         """Analytic derivative of the current with respect to ``v``."""
         t_eval = self.time if t is None else t
+        if self._fast is not None:
+            return self._fast.dcurrent_dv(v, self.x_v, self.x_i, t_eval, self._state_version)
         return self.model.dcurrent_dv(v, self.x_v, self.x_i, t_eval)
+
+    def current_and_dcurrent(self, v: float, t: float | None = None) -> tuple[float, float]:
+        """Fused current/derivative evaluation (one basis pass on the fast path)."""
+        t_eval = self.time if t is None else t
+        if self._fast is not None:
+            return self._fast.current_and_dcurrent(
+                v, self.x_v, self.x_i, t_eval, self._state_version
+            )
+        return (
+            self.model.current(v, self.x_v, self.x_i, t_eval),
+            self.model.dcurrent_dv(v, self.x_v, self.x_i, t_eval),
+        )
 
     def commit(self, v: float, t: float | None = None) -> float:
         """Accept the solver's voltage for this step and advance the states.
@@ -149,7 +176,12 @@ class ResampledPortModel:
         ``i^{n+1} + i^n`` term of the modified Maxwell-Ampère update).
         """
         t_eval = self.time if t is None else t
-        i_now = self.model.current(v, self.x_v, self.x_i, t_eval)
+        if self._fast is not None:
+            # The Newton loop's last residual evaluation was at this very
+            # voltage, so this is a cache hit in the common case.
+            i_now = self._fast.current(v, self.x_v, self.x_i, t_eval, self._state_version)
+        else:
+            i_now = self.model.current(v, self.x_v, self.x_i, t_eval)
         tau = self.tau
         new_x_i = self._q @ self.x_i
         new_x_i[0] += tau * i_now
@@ -160,6 +192,7 @@ class ResampledPortModel:
         self.time = t_eval + self.dt
         self.last_current = float(i_now)
         self.last_voltage = float(v)
+        self._state_version += 1
         return float(i_now)
 
     def copy(self) -> "ResampledPortModel":
@@ -175,4 +208,8 @@ class ResampledPortModel:
         clone.time = self.time
         clone.last_current = self.last_current
         clone.last_voltage = self.last_voltage
+        # Evaluator caches are keyed by (state_version, t); give the clone
+        # its own evaluator so the two cannot cross-contaminate.
+        clone._fast = build_fast_port_evaluator(clone.model) if self._fast is not None else None
+        clone._state_version = self._state_version
         return clone

@@ -22,6 +22,10 @@ cached per parameter set within the process.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
+import os
+import tempfile
 
 import numpy as np
 
@@ -44,8 +48,13 @@ from repro.macromodel.library import (
     make_reference_receiver_macromodel,
 )
 from repro.macromodel.receiver import ReceiverMacromodel
+from repro.macromodel.serialization import macromodel_from_dict, macromodel_to_dict
 
-__all__ = ["ReferenceMacromodels", "identified_reference_macromodels"]
+__all__ = [
+    "ReferenceMacromodels",
+    "identified_reference_macromodels",
+    "identification_cache_path",
+]
 
 
 @dataclasses.dataclass
@@ -59,6 +68,77 @@ class ReferenceMacromodels:
 
 
 _CACHE: dict[tuple, ReferenceMacromodels] = {}
+
+#: bump when the identification procedure changes in a result-affecting way
+_DISK_CACHE_FORMAT = 1
+
+
+def identification_cache_path(
+    params: ReferenceDeviceParameters, n_centers: int, seed: int
+) -> str | None:
+    """Disk-cache file for one identification run, or ``None`` if disabled.
+
+    The cache key hashes every identification parameter, so any change to
+    the device technology, centre count or seed produces a fresh entry.  The
+    cache lives under ``.cache/macromodels`` (override the root with
+    ``REPRO_CACHE_DIR``; set ``REPRO_DISK_CACHE=0`` to disable caching).
+    """
+    if os.environ.get("REPRO_DISK_CACHE", "1").strip().lower() in ("0", "false", "off"):
+        return None
+    root = os.environ.get("REPRO_CACHE_DIR", ".cache")
+    payload = json.dumps(
+        {
+            "format": _DISK_CACHE_FORMAT,
+            "params": dataclasses.asdict(params),
+            "n_centers": n_centers,
+            "seed": seed,
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+    return os.path.join(root, "macromodels", f"identified_{digest}.json")
+
+
+def _load_identified_from_disk(
+    path: str, params: ReferenceDeviceParameters
+) -> ReferenceMacromodels | None:
+    """Rebuild a cached identification result; ``None`` on any failure."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        models = ReferenceMacromodels(
+            driver=macromodel_from_dict(payload["driver"]),
+            receiver=macromodel_from_dict(payload["receiver"]),
+            params=params,
+            source="identified (disk cache)",
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    return models
+
+
+def _store_identified_to_disk(path: str, models: ReferenceMacromodels) -> None:
+    """Persist an identification result (best effort, atomic replace)."""
+    payload = {
+        "driver": macromodel_to_dict(models.driver),
+        "receiver": macromodel_to_dict(models.receiver),
+    }
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp_", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            os.unlink(tmp_path)
+            raise
+    except (OSError, TypeError, ValueError):
+        # Read-only filesystem, unserialisable model field, etc.: the cache
+        # is an optimisation only and must never fail the identification.
+        pass
 
 
 def _identify_driver(params: ReferenceDeviceParameters, n_centers: int, seed: int) -> DriverMacromodel:
@@ -160,19 +240,29 @@ def identified_reference_macromodels(
     With ``use_identification=True`` (default) the models are identified
     from the transistor-level circuits exactly as in the paper's workflow;
     with ``False`` the fast analytic library models are returned instead
-    (useful for unit tests).  Results are cached per parameter set.
+    (useful for unit tests).  Results are cached per parameter set, both in
+    process memory and on disk (see :func:`identification_cache_path`), so
+    benchmark and example runs stop re-running the identification on every
+    process start.
     """
     params = params or ReferenceDeviceParameters()
     key = (params, n_centers, seed, use_identification)
     if key in _CACHE:
         return _CACHE[key]
     if use_identification:
-        models = ReferenceMacromodels(
-            driver=_identify_driver(params, n_centers, seed),
-            receiver=_identify_receiver(params, max(n_centers // 2, 30), seed),
-            params=params,
-            source="identified",
-        )
+        disk_path = identification_cache_path(params, n_centers, seed)
+        models = None
+        if disk_path is not None and os.path.exists(disk_path):
+            models = _load_identified_from_disk(disk_path, params)
+        if models is None:
+            models = ReferenceMacromodels(
+                driver=_identify_driver(params, n_centers, seed),
+                receiver=_identify_receiver(params, max(n_centers // 2, 30), seed),
+                params=params,
+                source="identified",
+            )
+            if disk_path is not None:
+                _store_identified_to_disk(disk_path, models)
     else:
         models = ReferenceMacromodels(
             driver=make_reference_driver_macromodel(params, seed=seed),

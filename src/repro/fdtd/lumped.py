@@ -51,6 +51,10 @@ class FlippedTermination(LumpedTermination):
     def dcurrent_dv(self, v: float, t: float) -> float:
         return self.inner.dcurrent_dv(-v, t)
 
+    def current_and_dcurrent(self, v: float, t: float) -> tuple[float, float]:
+        i, g = self.inner.current_and_dcurrent(-v, t)
+        return -i, g
+
     def commit(self, v: float, t: float) -> float:
         i = -self.inner.commit(-v, t)
         self.last_current = i
@@ -110,6 +114,7 @@ class LumpedElementSite:
         plane_wave: Optional[PlaneWaveSource] = None,
         newton_options: Optional[NewtonOptions] = None,
         stats: Optional[NewtonStats] = None,
+        fast: bool = True,
     ) -> None:
         """Attach the element to a grid/solver (called by the solver)."""
         i, j, k = self.node
@@ -125,6 +130,17 @@ class LumpedElementSite:
         self.eps_edge = float(grid.edge_permittivity(self.axis)[i, j, k])
         x, y, z = grid.edge_coordinates(self.axis)
         self._xyz = (float(x[i, j, k]), float(y[i, j, k]), float(z[i, j, k]))
+        # Precomputed incident-field retardation at the element edge (fast
+        # path); the per-step incident evaluations then reduce to one
+        # waveform call.  With fast=False the seed's per-step evaluation is
+        # kept as the reference oracle.
+        self._fast = bool(fast)
+        if plane_wave is not None:
+            self._pw_delay = float(plane_wave.delay(*self._xyz))
+            self._pw_comp = plane_wave.component(self.axis)
+        else:
+            self._pw_delay = 0.0
+            self._pw_comp = 0.0
         self.update = HybridCellUpdate(
             self.termination, newton_options=newton_options, stats=stats
         )
@@ -153,24 +169,27 @@ class LumpedElementSite:
     def _curl_h(self, hx: np.ndarray, hy: np.ndarray, hz: np.ndarray) -> float:
         grid = self.grid
         i, j, k = self.node
+        # .item() reads keep the arithmetic on python floats (faster than
+        # numpy scalars); the values are identical.
         if self.axis == "x":
-            return float(
-                (hz[i, j, k] - hz[i, j - 1, k]) / grid.dy
-                - (hy[i, j, k] - hy[i, j, k - 1]) / grid.dz
-            )
+            return (hz.item(i, j, k) - hz.item(i, j - 1, k)) / grid.dy - (
+                hy.item(i, j, k) - hy.item(i, j, k - 1)
+            ) / grid.dz
         if self.axis == "y":
-            return float(
-                (hx[i, j, k] - hx[i, j, k - 1]) / grid.dz
-                - (hz[i, j, k] - hz[i - 1, j, k]) / grid.dx
-            )
-        return float(
-            (hy[i, j, k] - hy[i - 1, j, k]) / grid.dx
-            - (hx[i, j, k] - hx[i, j - 1, k]) / grid.dy
-        )
+            return (hx.item(i, j, k) - hx.item(i, j, k - 1)) / grid.dz - (
+                hz.item(i, j, k) - hz.item(i - 1, j, k)
+            ) / grid.dx
+        return (hy.item(i, j, k) - hy.item(i - 1, j, k)) / grid.dx - (
+            hx.item(i, j, k) - hx.item(i, j - 1, k)
+        ) / grid.dy
 
     def _incident_field(self, t: float) -> float:
         if self.plane_wave is None:
             return 0.0
+        if self._fast:
+            if self._pw_comp == 0.0:
+                return 0.0
+            return float(self.plane_wave.e_field_delayed(self.axis, self._pw_delay, t))
         x, y, z = self._xyz
         return float(
             self.plane_wave.e_field(self.axis, np.array(x), np.array(y), np.array(z), t)
@@ -179,6 +198,10 @@ class LumpedElementSite:
     def _incident_derivative(self, t_mid: float) -> float:
         if self.plane_wave is None:
             return 0.0
+        if self._fast:
+            if self._pw_comp == 0.0:
+                return 0.0
+            return float(self.plane_wave.de_field_dt_delayed(self.axis, self._pw_delay, t_mid))
         x, y, z = self._xyz
         return float(
             self.plane_wave.de_field_dt(
@@ -193,23 +216,29 @@ class LumpedElementSite:
         hy: np.ndarray,
         hz: np.ndarray,
         t_new: float,
+        e_inc: float | None = None,
+        de_inc: float | None = None,
     ) -> None:
         """Advance the element by one time step and write back the scattered field.
 
         Must be called after the regular E update of the step (the element
         edge value is overwritten) with the H fields at the half step and
-        the new time ``t_new``.
+        the new time ``t_new``.  The fast solver path may pass the incident
+        field ``e_inc`` (at ``t_new``) and its derivative ``de_inc`` (at the
+        half step) precomputed in one batch over all sites; when omitted
+        they are evaluated here.
         """
         if not self._bound:
             raise RuntimeError("bind() must be called before stepping the element")
         curl = self._curl_h(hx, hy, hz)
-        t_mid = t_new - 0.5 * self.dt
-        de_inc_dt = self._incident_derivative(t_mid)
-        b = self._a * self._v_prev + self.length * curl + EPS0 * self.length * de_inc_dt
+        if de_inc is None:
+            de_inc = self._incident_derivative(t_new - 0.5 * self.dt)
+        b = self._a * self._v_prev + self.length * curl + EPS0 * self.length * de_inc
         v_new, i_new = self.update.solve(self._a, b, self._c, self._v_prev, t_new)
 
         # Write the scattered field back into the mesh: E_s = E_total - E_inc.
-        e_inc = self._incident_field(t_new)
+        if e_inc is None:
+            e_inc = self._incident_field(t_new)
         i, j, k = self.node
         e_component[i, j, k] = v_new / self.length - e_inc
 

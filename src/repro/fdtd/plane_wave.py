@@ -79,6 +79,13 @@ class PlaneWaveSource:
             self.p_hat = np.array([ct * cp, ct * sp, -st])
         else:
             self.p_hat = np.array([-sp, cp, 0.0])
+        # Snap numerically-zero components (e.g. cos(pi/2) ~ 6e-17 for the
+        # paper's theta = 90 deg incidence) to exact zeros: a 1e-17-scale
+        # component is physically meaningless but would defeat the
+        # ``comp == 0`` shortcuts and cost full-array waveform evaluations
+        # on the non-illuminated axes every step.
+        self.k_hat[np.abs(self.k_hat) < 1e-14] = 0.0
+        self.p_hat[np.abs(self.p_hat) < 1e-14] = 0.0
         #: reference point (most upstream corner); set by :meth:`bind`.
         self.r_ref = np.zeros(3)
 
@@ -100,12 +107,33 @@ class PlaneWaveSource:
         rx, ry, rz = self.r_ref
         return (kx * (x - rx) + ky * (y - ry) + kz * (z - rz)) / C0
 
+    def delay(self, x, y, z):
+        """Retardation ``k_hat . (r - r_ref) / c0`` at points ``(x, y, z)``.
+
+        The fast FDTD path precomputes this once per PEC/dielectric edge set
+        and then evaluates the waveform at ``t - delay`` per step, instead of
+        recomputing the geometric projection every step.
+        """
+        return self._delay(np.asarray(x, dtype=float), np.asarray(y, dtype=float),
+                           np.asarray(z, dtype=float))
+
+    def component(self, axis: str) -> float:
+        """Polarisation component along ``axis`` (0 when not illuminated)."""
+        return float(self.p_hat[_AXIS_INDEX[axis]])
+
     def e_field(self, axis: str, x: np.ndarray, y: np.ndarray, z: np.ndarray, t: float) -> np.ndarray:
         """Incident E-field component ``axis`` at points ``(x, y, z)`` and time ``t``."""
         comp = self.p_hat[_AXIS_INDEX[axis]]
         if comp == 0.0:
             return np.zeros(np.broadcast(x, y, z).shape)
-        arg = t - self._delay(x, y, z)
+        return self.e_field_delayed(axis, self._delay(x, y, z), t)
+
+    def e_field_delayed(self, axis: str, delay, t: float):
+        """Incident component for a precomputed retardation ``delay``."""
+        comp = self.p_hat[_AXIS_INDEX[axis]]
+        if isinstance(delay, float):  # scalar fast path (lumped sites)
+            return self.amplitude * comp * float(self.waveform(t - delay))
+        arg = t - delay
         return self.amplitude * comp * np.asarray(self.waveform(arg), dtype=float)
 
     def de_field_dt(
@@ -115,7 +143,17 @@ class PlaneWaveSource:
         comp = self.p_hat[_AXIS_INDEX[axis]]
         if comp == 0.0:
             return np.zeros(np.broadcast(x, y, z).shape)
-        arg = t - self._delay(x, y, z)
+        return self.de_field_dt_delayed(axis, self._delay(x, y, z), t, h)
+
+    def de_field_dt_delayed(self, axis: str, delay, t: float, h: float = 1e-13):
+        """Incident time derivative for a precomputed retardation ``delay``."""
+        comp = self.p_hat[_AXIS_INDEX[axis]]
+        if isinstance(delay, float):  # scalar fast path (lumped sites)
+            arg = t - delay
+            g_plus = float(self.waveform(arg + h))
+            g_minus = float(self.waveform(arg - h))
+            return self.amplitude * comp * (g_plus - g_minus) / (2.0 * h)
+        arg = t - delay
         g_plus = np.asarray(self.waveform(arg + h), dtype=float)
         g_minus = np.asarray(self.waveform(arg - h), dtype=float)
         return self.amplitude * comp * (g_plus - g_minus) / (2.0 * h)

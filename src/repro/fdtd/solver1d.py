@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import perf
 from repro.core.cosim import SimulationResult
 from repro.core.lumped_rbf import HybridCellUpdate
 from repro.core.newton import NewtonOptions, NewtonStats
@@ -49,6 +50,10 @@ class FDTD1DLine:
         Initial line voltage (0 V for the paper's '010' stimulus).
     newton_options:
         Settings for the termination Newton solves.
+    fast:
+        Run the interior leapfrog through preallocated scratch buffers
+        (allocation-free stepping; numerically identical).  ``None``
+        (default) follows :func:`repro.perf.fastpath_default`.
     """
 
     def __init__(
@@ -61,6 +66,7 @@ class FDTD1DLine:
         courant: float = 1.0,
         v_initial: float = 0.0,
         newton_options: NewtonOptions | None = None,
+        fast: bool | None = None,
     ):
         if z0 <= 0 or delay <= 0:
             raise ValueError("z0 and delay must be positive")
@@ -82,6 +88,7 @@ class FDTD1DLine:
         self.far = far_termination
         self.newton_options = newton_options or NewtonOptions()
         self.newton_stats = NewtonStats()
+        self.fast = perf.resolve_fast(fast)
 
     def run(self, duration: float) -> SimulationResult:
         """Run a transient of the given duration and return the port waveforms."""
@@ -109,12 +116,29 @@ class FDTD1DLine:
         i_near = np.empty(n_steps)
         i_far = np.empty(n_steps)
 
+        # Scratch buffers for allocation-free stepping (fast path); the
+        # arithmetic is identical to the naive slice expressions.
+        fast = self.fast
+        if fast:
+            dv_buf = np.empty(n)
+            di_buf = np.empty(n - 1)
+
         for step in range(n_steps):
             t_new = times[step]
-            # current update (half step)
-            i -= ci * (v[1:] - v[:-1])
-            # interior voltage update
-            v[1:-1] -= cv * (i[1:] - i[:-1])
+            if fast:
+                # current update (half step)
+                np.subtract(v[1:], v[:-1], out=dv_buf)
+                dv_buf *= ci
+                i -= dv_buf
+                # interior voltage update
+                np.subtract(i[1:], i[:-1], out=di_buf)
+                di_buf *= cv
+                v[1:-1] -= di_buf
+            else:
+                # current update (half step)
+                i -= ci * (v[1:] - v[:-1])
+                # interior voltage update
+                v[1:-1] -= cv * (i[1:] - i[:-1])
             # near-end termination (node 0): a v - b - c (i_new + i_old) = 0
             b_near = a_end * v[0] - i[0]
             v0_new, i0_new = near_update.solve(a_end, b_near, c_end, v[0], t_new)

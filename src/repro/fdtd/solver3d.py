@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import perf
 from repro.core.newton import NewtonOptions, NewtonStats
 from repro.fdtd.boundaries import MurBoundary
 from repro.fdtd.constants import EPS0, MU0
@@ -33,6 +34,7 @@ from repro.fdtd.grid import YeeGrid
 from repro.fdtd.lumped import LumpedElementSite
 from repro.fdtd.plane_wave import PlaneWaveSource
 from repro.fdtd.probes import EdgeVoltageProbe, FieldProbe
+from repro.perf.fdtd_fast import FastYeeKernels, compress_delays
 
 __all__ = ["FDTD3DSolver"]
 
@@ -51,6 +53,12 @@ class FDTD3DSolver:
     newton_options:
         Settings for the per-port Newton iterations (default: the paper's
         1e-9 tolerance).
+    fast:
+        Use the allocation-free update kernels of
+        :mod:`repro.perf.fdtd_fast` plus flat-index PEC/dielectric
+        application.  ``None`` (default) follows
+        :func:`repro.perf.fastpath_default`; ``False`` runs the naive
+        reference updates.
     """
 
     def __init__(
@@ -59,6 +67,7 @@ class FDTD3DSolver:
         dt: float | None = None,
         courant_safety: float = 0.99,
         newton_options: NewtonOptions | None = None,
+        fast: bool | None = None,
     ):
         self.grid = grid
         self.dt = dt if dt is not None else courant_time_step(
@@ -73,6 +82,7 @@ class FDTD3DSolver:
             )
         self.newton_options = newton_options or NewtonOptions()
         self.newton_stats = NewtonStats()
+        self.fast = perf.resolve_fast(fast)
 
         self.sites: list[LumpedElementSite] = []
         self.voltage_probes: list[EdgeVoltageProbe] = []
@@ -123,7 +133,7 @@ class FDTD3DSolver:
         self._ce_z = self.dt / self._eps_z
         self._ch = self.dt / MU0
 
-        self.mur = MurBoundary(grid, self.dt)
+        self.mur = MurBoundary(grid, self.dt, fast=self.fast)
 
         if self.plane_wave is not None:
             self.plane_wave.bind(grid)
@@ -144,6 +154,71 @@ class FDTD3DSolver:
                     factor = self.dt * (1.0 - EPS0 / eps_edge[mask])
                     self._diel_cache[axis] = (mask, coords, factor)
 
+        if self.fast:
+            # Mur faces whose every edge is PEC are rewritten by the PEC
+            # application right after mur.apply, so their boundary update
+            # (and the saving of their previous planes) can be skipped.
+            face_masks = {
+                "ey_x0": grid.pec_y[0, :, :], "ey_x1": grid.pec_y[-1, :, :],
+                "ez_x0": grid.pec_z[0, :, :], "ez_x1": grid.pec_z[-1, :, :],
+                "ex_y0": grid.pec_x[:, 0, :], "ex_y1": grid.pec_x[:, -1, :],
+                "ez_y0": grid.pec_z[:, 0, :], "ez_y1": grid.pec_z[:, -1, :],
+                "ex_z0": grid.pec_x[:, :, 0], "ex_z1": grid.pec_x[:, :, -1],
+                "ey_z0": grid.pec_y[:, :, 0], "ey_z1": grid.pec_y[:, :, -1],
+            }
+            mur_skip = {key for key, m in face_masks.items() if bool(m.all())}
+            self.mur.set_skip_faces(mur_skip)
+
+            self._pec_suppressed = {}
+            if self.plane_wave is None:
+                # Without an incident field, deep-interior PEC edges (two or
+                # more cells from every boundary) hold exactly 0 V/m at every
+                # observable moment: nothing reads them between the E update
+                # and the PEC application (the Mur faces only read the two
+                # outermost shells), so their curl update can be suppressed
+                # by zeroing the coefficient and their per-step re-zeroing
+                # dropped entirely.
+                for axis, ce in (("x", self._ce_x), ("y", self._ce_y), ("z", self._ce_z)):
+                    mask = grid.pec_mask(axis)
+                    deep = np.zeros_like(mask)
+                    deep[2:-2, 2:-2, 2:-2] = True
+                    suppress = mask & deep
+                    if suppress.any():
+                        ce[suppress] = 0.0
+                        self._pec_suppressed[axis] = suppress
+
+            self._kernels = FastYeeKernels(
+                grid, self.dt,
+                self.ex, self.ey, self.ez, self.hx, self.hy, self.hz,
+                self._ce_x, self._ce_y, self._ce_z,
+            )
+            # Flat-index variants of the mask caches with the plane-wave
+            # retardation precomputed (and compressed to its unique values —
+            # a plane wave takes one delay per grid plane along its
+            # propagation direction), so the per-step work reduces to one
+            # small waveform evaluation, a gather and a flat assignment.
+            self._pec_fast = {}
+            for axis, (mask, coords) in self._pec_cache.items():
+                delay = None
+                comp = None
+                if self.plane_wave is not None and self.plane_wave.component(axis) != 0.0:
+                    delay = self.plane_wave.delay(*coords)
+                    comp = compress_delays(delay)
+                if axis in self._pec_suppressed:
+                    flat = np.flatnonzero(mask & ~self._pec_suppressed[axis])
+                    if flat.size == 0:
+                        continue
+                else:
+                    flat = np.flatnonzero(mask)
+                self._pec_fast[axis] = (flat, delay, comp)
+            self._diel_fast = {}
+            for axis, (mask, coords, factor) in self._diel_cache.items():
+                if self.plane_wave.component(axis) == 0.0:
+                    continue  # no incident component: the correction is zero
+                flat = np.flatnonzero(mask)
+                delay = self.plane_wave.delay(*coords)
+                self._diel_fast[axis] = (flat, delay, factor, compress_delays(delay))
+
         for site in self.sites:
             site.bind(
                 self.grid,
@@ -151,7 +226,17 @@ class FDTD3DSolver:
                 plane_wave=self.plane_wave,
                 newton_options=self.newton_options,
                 stats=self.newton_stats,
+                fast=self.fast,
             )
+        # Batched per-step incident evaluation over all sites (fast path):
+        # one waveform call instead of three scalar calls per site.
+        self._site_incident = None
+        if self.fast and self.plane_wave is not None and self.sites:
+            delays = np.array([site._pw_delay for site in self.sites])
+            scale = self.plane_wave.amplitude * np.array(
+                [self.plane_wave.component(site.axis) for site in self.sites]
+            )
+            self._site_incident = (delays, scale)
         for probe in self.voltage_probes + self.field_probes:
             probe.bind(self.grid, self.plane_wave)
 
@@ -201,6 +286,28 @@ class FDTD3DSolver:
             else:
                 field[mask] = -self.plane_wave.e_field(axis, *coords, t_new)
 
+    # -- fast-path variants (precomputed retardation, flat indices) ----------
+    def _apply_dielectric_correction_fast(self, t_mid: float) -> None:
+        for axis, (flat, delay, factor, comp) in self._diel_fast.items():
+            field = {"x": self.ex, "y": self.ey, "z": self.ez}[axis]
+            if comp is not None:
+                unique, inverse = comp
+                de_dt = self.plane_wave.de_field_dt_delayed(axis, unique, t_mid)[inverse]
+            else:
+                de_dt = self.plane_wave.de_field_dt_delayed(axis, delay, t_mid)
+            field.reshape(-1)[flat] -= factor * de_dt
+
+    def _apply_pec_fast(self, t_new: float) -> None:
+        for axis, (flat, delay, comp) in self._pec_fast.items():
+            field = {"x": self.ex, "y": self.ey, "z": self.ez}[axis]
+            if delay is None:
+                field.reshape(-1)[flat] = 0.0
+            elif comp is not None:
+                unique, inverse = comp
+                field.reshape(-1)[flat] = -self.plane_wave.e_field_delayed(axis, unique, t_new)[inverse]
+            else:
+                field.reshape(-1)[flat] = -self.plane_wave.e_field_delayed(axis, delay, t_new)
+
     # -- run -------------------------------------------------------------------
     def run(
         self,
@@ -224,22 +331,48 @@ class FDTD3DSolver:
             self._prepare()
 
         e_fields = {"x": self.ex, "y": self.ey, "z": self.ez}
+        fast = self.fast
         start = _time.perf_counter()
         for step in range(1, n_steps + 1):
             t_new = step * self.dt
             t_mid = t_new - 0.5 * self.dt
-            self._update_h()
+            if fast:
+                self._kernels.update_h()
+            else:
+                self._update_h()
             self.mur.save_previous(self.ex, self.ey, self.ez)
-            self._update_e()
-            if self._diel_cache:
-                self._apply_dielectric_correction(t_mid)
+            if fast:
+                self._kernels.update_e()
+                if self._diel_fast:
+                    self._apply_dielectric_correction_fast(t_mid)
+            else:
+                self._update_e()
+                if self._diel_cache:
+                    self._apply_dielectric_correction(t_mid)
             # Absorbing boundaries first, PEC last: conductors lying on a
             # domain face (e.g. the PCB's outer metallisation) must win over
             # the Mur update of that face.
             self.mur.apply(self.ex, self.ey, self.ez)
-            self._apply_pec(t_new)
-            for site in self.sites:
-                site.step(e_fields[site.axis], self.hx, self.hy, self.hz, t_new)
+            if fast:
+                self._apply_pec_fast(t_new)
+            else:
+                self._apply_pec(t_new)
+            if self._site_incident is not None:
+                delays, scale = self._site_incident
+                waveform = self.plane_wave.waveform
+                h = 1e-13
+                e_inc = scale * np.asarray(waveform(t_new - delays), dtype=float)
+                g_plus = np.asarray(waveform(t_mid + h - delays), dtype=float)
+                g_minus = np.asarray(waveform(t_mid - h - delays), dtype=float)
+                de_inc = scale * (g_plus - g_minus) / (2.0 * h)
+                for k, site in enumerate(self.sites):
+                    site.step(
+                        e_fields[site.axis], self.hx, self.hy, self.hz, t_new,
+                        e_inc=e_inc[k], de_inc=de_inc[k],
+                    )
+            else:
+                for site in self.sites:
+                    site.step(e_fields[site.axis], self.hx, self.hy, self.hz, t_new)
             for probe in self.voltage_probes:
                 probe.record(e_fields[probe.axis], t_new)
             for probe in self.field_probes:

@@ -59,6 +59,8 @@ class LogicStimulus:
             if new == state:
                 raise ValueError("events must alternate logic state")
             state = new
+        # Cached event-time list for the per-step bisection (frozen dataclass).
+        object.__setattr__(self, "_event_times", times)
 
     @classmethod
     def from_pattern(
@@ -95,8 +97,7 @@ class LogicStimulus:
 
     def last_event_before(self, t: float) -> Optional[tuple[float, int]]:
         """The most recent event at or before ``t``, or ``None``."""
-        times = [time for time, _ in self.events]
-        idx = bisect.bisect_right(times, t) - 1
+        idx = bisect.bisect_right(self._event_times, t) - 1
         if idx < 0:
             return None
         return self.events[idx]

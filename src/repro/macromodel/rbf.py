@@ -51,6 +51,8 @@ class GaussianRBFExpansion:
             raise ValueError("number of centers and weights must match")
         if self.beta <= 0:
             raise ValueError("beta must be positive")
+        # Cached ||c_l||^2 for the Gram-form distance in :meth:`basis`.
+        self._centers_sq = np.einsum("ld,ld->l", self.centers, self.centers)
 
     @property
     def n_centers(self) -> int:
@@ -67,6 +69,12 @@ class GaussianRBFExpansion:
 
         ``x`` may be a single ``D``-vector or an ``(N, D)`` batch; the result
         has shape ``(L,)`` or ``(N, L)`` respectively.
+
+        The squared distances use the Gram form ``||x||^2 - 2 x.c + ||c||^2``
+        with cached centre norms, which turns the naive ``(N, L, D)``
+        broadcast into one ``(N, D) @ (D, L)`` product.  Cancellation can
+        leave tiny negative values for points that coincide with a centre, so
+        the result is clipped at zero before the exponential.
         """
         x = np.asarray(x, dtype=float)
         single = x.ndim == 1
@@ -75,6 +83,17 @@ class GaussianRBFExpansion:
             raise ValueError(
                 f"input dimension {pts.shape[1]} != model dimension {self.dimension}"
             )
+        pts_sq = np.einsum("nd,nd->n", pts, pts)
+        sq = pts_sq[:, None] - 2.0 * (pts @ self.centers.T) + self._centers_sq[None, :]
+        np.maximum(sq, 0.0, out=sq)
+        phi = np.exp(sq * (-1.0 / (2.0 * self.beta**2)), out=sq)
+        return phi[0] if single else phi
+
+    def _basis_reference(self, x: np.ndarray) -> np.ndarray:
+        """Naive broadcast evaluation of :meth:`basis` (equivalence oracle)."""
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        pts = np.atleast_2d(x)
         diff = pts[:, None, :] - self.centers[None, :, :]
         sq = np.sum(diff * diff, axis=2)
         phi = np.exp(-sq / (2.0 * self.beta**2))

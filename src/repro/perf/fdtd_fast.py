@@ -1,0 +1,146 @@
+"""Allocation-free Yee update kernels for the 3-D FDTD solver.
+
+The reference updates in :mod:`repro.fdtd.solver3d` are straightforward
+NumPy slice arithmetic; correct, but every step allocates roughly a dozen
+field-sized temporaries, divides by the cell sizes again and again, and
+re-creates every slice view.  This module provides the fast equivalents:
+
+* the ``1/dx`` (``1/dy``, ``1/dz``) divisions are folded into the update
+  coefficients once (``dt / (mu0 dy)`` scalars for the H update, the
+  per-edge ``dt / (eps dy)`` arrays for the E update);
+* all stencil arithmetic runs through ``out=``-style in-place ufuncs into
+  preallocated scratch buffers, so the time loop performs no array
+  allocation at all;
+* every slice view of the field arrays is created once at bind time (the
+  solver's field arrays are allocated once per run), removing ~30 view
+  constructions per step from the hot loop.
+
+The reordering ``c * (a/dy - b/dz)`` → ``(c/dy) * a - (c/dz) * b`` changes
+results only at the level of floating-point rounding (≲1 ulp per step);
+the equivalence suite bounds the accumulated difference well below 1e-12
+relative.  PEC and dielectric-correction bookkeeping (flat index arrays,
+precomputed plane-wave retardation with unique-delay compression) lives in
+the solver's ``_prepare``, since it depends on the attached sources.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fdtd.constants import MU0
+
+__all__ = ["FastYeeKernels", "compress_delays"]
+
+
+def compress_delays(delay: np.ndarray, min_gain: int = 2):
+    """Unique-value compression of a retardation array.
+
+    A plane wave's retardation over a structured edge set takes only as
+    many distinct values as there are grid planes along the propagation
+    direction, so the per-step waveform evaluation can run over the unique
+    delays and be gathered back.  Returns ``(unique_delays, inverse)`` or
+    ``None`` when the compression would not at least halve the evaluation
+    count (``min_gain``).
+    """
+    unique, inverse = np.unique(delay, return_inverse=True)
+    if unique.size * min_gain > delay.size:
+        return None
+    return unique, inverse
+
+
+class FastYeeKernels:
+    """Preallocated in-place H/E updates bound to one set of field arrays.
+
+    Parameters
+    ----------
+    grid:
+        The Yee grid (provides spacings and array shapes).
+    dt:
+        Time step.
+    ex .. hz:
+        The solver's field arrays (the kernels keep views into them, so
+        they must not be reallocated afterwards).
+    ce_x, ce_y, ce_z:
+        The per-edge ``dt / eps`` arrays of the host solver.
+    """
+
+    def __init__(self, grid, dt, ex, ey, ez, hx, hy, hz, ce_x, ce_y, ce_z):
+        ch = dt / MU0
+        ch_dx = ch / grid.dx
+        ch_dy = ch / grid.dy
+        ch_dz = ch / grid.dz
+
+        # E-update coefficients on the interior edges with the transverse
+        # spacings folded in.
+        cex_dy = ce_x[:, 1:-1, 1:-1] / grid.dy
+        cex_dz = ce_x[:, 1:-1, 1:-1] / grid.dz
+        cey_dz = ce_y[1:-1, :, 1:-1] / grid.dz
+        cey_dx = ce_y[1:-1, :, 1:-1] / grid.dx
+        cez_dx = ce_z[1:-1, 1:-1, :] / grid.dx
+        cez_dy = ce_z[1:-1, 1:-1, :] / grid.dy
+
+        # One (terms, coeffs, buffers, target) record per updated component:
+        # target ±= c1 * (a1 - b1) ∓ c2 * (a2 - b2), all views pre-created.
+        def flat_pair(a, b, scratch):
+            # First-axis slices of a contiguous array stay contiguous; their
+            # raveled views let the subtract run as one flat 1-D loop
+            # instead of a strided 3-D one.  Values are identical.
+            if a.flags.c_contiguous and b.flags.c_contiguous:
+                return a.reshape(-1), b.reshape(-1), scratch.reshape(-1)
+            return a, b, scratch
+
+        def rec(a1, b1, c1, a2, b2, c2, target):
+            shape = np.broadcast_shapes(a1.shape, target.shape)
+            s1 = np.empty(shape)
+            s2 = np.empty(shape)
+            return (
+                flat_pair(a1, b1, s1), c1,
+                flat_pair(a2, b2, s2), c2,
+                target, s1, s2,
+            )
+
+        self._h_updates = (
+            rec(ez[:, 1:, :], ez[:, :-1, :], ch_dy, ey[:, :, 1:], ey[:, :, :-1], ch_dz, hx),
+            rec(ex[:, :, 1:], ex[:, :, :-1], ch_dz, ez[1:, :, :], ez[:-1, :, :], ch_dx, hy),
+            rec(ey[1:, :, :], ey[:-1, :, :], ch_dx, ex[:, 1:, :], ex[:, :-1, :], ch_dy, hz),
+        )
+        self._e_updates = (
+            rec(
+                hz[:, 1:, 1:-1], hz[:, :-1, 1:-1], cex_dy,
+                hy[:, 1:-1, 1:], hy[:, 1:-1, :-1], cex_dz,
+                ex[:, 1:-1, 1:-1],
+            ),
+            rec(
+                hx[1:-1, :, 1:], hx[1:-1, :, :-1], cey_dz,
+                hz[1:, :, 1:-1], hz[:-1, :, 1:-1], cey_dx,
+                ey[1:-1, :, 1:-1],
+            ),
+            rec(
+                hy[1:, 1:-1, :], hy[:-1, 1:-1, :], cez_dx,
+                hx[1:-1, 1:, :], hx[1:-1, :-1, :], cez_dy,
+                ez[1:-1, 1:-1, :],
+            ),
+        )
+
+    @staticmethod
+    def _curl_into(update, sign: float) -> None:
+        (a1, b1, s1v), c1, (a2, b2, s2v), c2, target, s1, s2 = update
+        np.subtract(a1, b1, out=s1v)
+        s1 *= c1
+        np.subtract(a2, b2, out=s2v)
+        s2 *= c2
+        s1 -= s2
+        if sign < 0:
+            target -= s1
+        else:
+            target += s1
+
+    def update_h(self) -> None:
+        """In-place magnetic-field half step (curl E)."""
+        for update in self._h_updates:
+            self._curl_into(update, -1.0)
+
+    def update_e(self) -> None:
+        """In-place electric-field step (curl H) on the interior edges."""
+        for update in self._e_updates:
+            self._curl_into(update, 1.0)

@@ -1,0 +1,192 @@
+"""Fast-path MNA assembly with cached factorizations.
+
+The reference transient solver (:mod:`repro.circuits.transient`) rebuilds
+the whole MNA system from scratch at every Newton iteration: it allocates a
+fresh ``(n, n)`` matrix, stamps *every* element (including the purely linear
+ones, whose matrix contribution never changes within a run), loops over the
+nodes in Python for the ``gmin`` diagonal and calls a fresh dense solve.
+
+This module splits that work by how often it actually changes:
+
+* **once per run** — the matrix stamps of all ``stamp_kind == "static"``
+  elements (resistors, capacitor/inductor companions, source incidence
+  rows, transmission-line characteristic rows) plus the vectorised ``gmin``
+  diagonal are assembled into a preallocated ``A_static``;
+* **once per time step** — the x-independent RHS (source values at ``t``,
+  companion-model history currents, line history voltages) is assembled
+  into a preallocated ``rhs_static`` via ``stamp_rhs``;
+* **once per Newton iteration** — only the nonlinear ("dynamic") elements
+  are re-stamped, on top of an ``np.copyto`` of the cached static parts,
+  using their index-cached ``stamp_fast`` when available.
+
+When the circuit contains no dynamic elements the Jacobian is constant for
+the whole transient, so it is LU-factorised exactly once (dense
+``scipy.linalg.lu_factor`` below :data:`SPARSE_THRESHOLD` unknowns, sparse
+``splu`` above it) and every subsequent solve reuses the factors.  Without
+scipy the assembler falls back to a dense solve per iteration, which is
+still correct.  :attr:`FastPathAssembler.stats` counts factorizations and
+cached solves so tests can assert the cache is actually hit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+try:  # scipy is optional: the fast path degrades gracefully without it
+    from scipy.linalg import lu_factor as _lu_factor, lu_solve as _lu_solve
+    from scipy.linalg.lapack import dgesv as _dgesv
+except ImportError:  # pragma: no cover - exercised only on scipy-less installs
+    _lu_factor = None
+    _lu_solve = None
+    _dgesv = None
+
+try:
+    from scipy.sparse import csc_matrix as _csc_matrix
+    from scipy.sparse.linalg import splu as _splu
+except ImportError:  # pragma: no cover
+    _csc_matrix = None
+    _splu = None
+
+from repro.circuits.elements import StampContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.circuits.netlist import Circuit, CompiledCircuit
+
+__all__ = ["FastPathAssembler", "SPARSE_THRESHOLD"]
+
+#: above this many unknowns a constant Jacobian is factorised sparsely
+SPARSE_THRESHOLD = 256
+
+
+class FastPathAssembler:
+    """Static/dynamic split assembly for one transient run.
+
+    Parameters
+    ----------
+    circuit, compiled:
+        The circuit and its compiled index maps.
+    dt, method, gmin:
+        Time step, integration method and node-to-ground conductance of the
+        run (fixed for the assembler's lifetime).
+    """
+
+    def __init__(
+        self,
+        circuit: "Circuit",
+        compiled: "CompiledCircuit",
+        dt: float,
+        method: str,
+        gmin: float,
+    ):
+        self.circuit = circuit
+        self.compiled = compiled
+        self.dt = float(dt)
+        self.method = method
+        self.gmin = float(gmin)
+
+        self.static_elements = [
+            el for el in circuit.elements if getattr(el, "stamp_kind", "dynamic") == "static"
+        ]
+        # Dynamic elements are paired with their fastest available stamp.
+        self.dynamic_stamps = [
+            (el, getattr(el, "stamp_fast", None) or el.stamp)
+            for el in circuit.elements
+            if getattr(el, "stamp_kind", "dynamic") != "static"
+        ]
+        self._dynamic_fns = [stamp for _, stamp in self.dynamic_stamps]
+        self.linear_only = not self.dynamic_stamps
+
+        n = compiled.n_unknowns
+        self._A_static = np.zeros((n, n))
+        self._rhs_static = np.zeros(n)
+        self._A = np.zeros((n, n))
+        self._rhs = np.zeros(n)
+        self._A_solve = np.zeros((n, n))  # scratch clobbered by in-place LAPACK
+        self._lu = None
+        self._sparse_lu = None
+        self.stats = {
+            "mode": "fast",
+            "linear_only": self.linear_only,
+            "factorizations": 0,
+            "cached_solves": 0,
+            "dense_solves": 0,
+        }
+
+    # -- assembly ---------------------------------------------------------
+    def begin_run(self) -> None:
+        """Assemble the per-run static matrix (call after element resets)."""
+        ctx = StampContext(self.compiled, self.dt, 0.0, self.method)
+        A = self._A_static
+        A[:] = 0.0
+        for element in self.static_elements:
+            element.stamp_static(A, ctx)
+        diag = self.compiled.node_diagonal
+        A[diag, diag] += self.gmin
+        for element, _ in self.dynamic_stamps:
+            element.prepare_fast(self.compiled)
+        self._lu = None
+        self._sparse_lu = None
+
+    def begin_step(self, t: float) -> StampContext:
+        """Assemble the per-step static RHS and return the step context."""
+        ctx = StampContext(self.compiled, self.dt, t, self.method)
+        rhs = self._rhs_static
+        rhs[:] = 0.0
+        for element in self.static_elements:
+            element.stamp_rhs(rhs, ctx)
+        return ctx
+
+    def iterate(self, x: np.ndarray, ctx: StampContext) -> tuple[np.ndarray, np.ndarray]:
+        """Assemble the full system for one Newton iteration around ``x``."""
+        if self.linear_only:
+            # The static parts ARE the system; no per-iteration copy needed.
+            return self._A_static, self._rhs_static
+        np.copyto(self._A, self._A_static)
+        np.copyto(self._rhs, self._rhs_static)
+        A, rhs = self._A, self._rhs
+        for stamp in self._dynamic_fns:
+            stamp(A, rhs, x, ctx)
+        return A, rhs
+
+    # -- solves -----------------------------------------------------------
+    def solve(self, A: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs``, reusing the cached factorization when valid."""
+        if self.linear_only and _lu_factor is not None:
+            if A.shape[0] > SPARSE_THRESHOLD and _splu is not None:
+                if self._sparse_lu is None:
+                    self._sparse_lu = _splu(_csc_matrix(A))
+                    self.stats["factorizations"] += 1
+                else:
+                    self.stats["cached_solves"] += 1
+                x = self._sparse_lu.solve(rhs)
+            else:
+                if self._lu is None:
+                    self._lu = _lu_factor(A, check_finite=False)
+                    self.stats["factorizations"] += 1
+                else:
+                    self.stats["cached_solves"] += 1
+                x = _lu_solve(self._lu, rhs, check_finite=False)
+            if np.all(np.isfinite(x)):
+                return x
+            # Singular / ill-posed system: fall through to the robust path.
+            self._lu = None
+            self._sparse_lu = None
+        self.stats["dense_solves"] += 1
+        if not self.linear_only:
+            self.stats["factorizations"] += 1
+        if _dgesv is not None:
+            # Raw LAPACK gesv: same factorization as np.linalg.solve (the
+            # results are bit-identical) without the wrapper overhead, which
+            # is significant at typical circuit sizes.  ``A`` stays intact
+            # for the singular-case fallback below.
+            np.copyto(self._A_solve, A)
+            _, _, x, info = _dgesv(self._A_solve, rhs, overwrite_a=1, overwrite_b=0)
+            if info == 0:
+                return x
+            return np.linalg.lstsq(A, rhs, rcond=None)[0]
+        try:
+            return np.linalg.solve(A, rhs)
+        except np.linalg.LinAlgError:
+            return np.linalg.lstsq(A, rhs, rcond=None)[0]

@@ -15,6 +15,7 @@ simulation engines (SPICE-class, 1-D FDTD, 3-D FDTD) without coupling them.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Sequence
 
 import numpy as np
@@ -210,6 +211,11 @@ class GaussianPulse(Waveform):
         return cls(amplitude=amplitude, t_center=t_center, sigma=sigma)
 
     def __call__(self, t):
+        if isinstance(t, float) or np.ndim(t) == 0:
+            # Scalar fast path: the solvers evaluate sources once per time
+            # step, where the array round-trip dominates the exponential.
+            arg = (float(t) - self.t_center) / self.sigma
+            return self.amplitude * math.exp(-0.5 * arg * arg)
         t = np.asarray(t, dtype=float)
         arg = (t - self.t_center) / self.sigma
         return self.amplitude * np.exp(-0.5 * arg * arg)
@@ -240,6 +246,8 @@ class PiecewiseLinearWaveform(Waveform):
         self.values = values
 
     def __call__(self, t):
+        if isinstance(t, float) or np.ndim(t) == 0:
+            return float(np.interp(t, self.times, self.values))
         t = np.asarray(t, dtype=float)
         return np.interp(t, self.times, self.values)
 
@@ -303,6 +311,26 @@ class BitPattern(Waveform):
         return self.high if bit == "1" else self.low
 
     def __call__(self, t):
+        if isinstance(t, float) or np.ndim(t) == 0:
+            # Scalar fast path (same arithmetic as the array branch): the
+            # circuit solver evaluates the stimulus once per time step.
+            tf = float(t)
+            prev = self._level(self.pattern[0])
+            out = prev
+            for k, bit in enumerate(self.pattern):
+                if k == 0:
+                    continue
+                level = self._level(bit)
+                if level != prev:
+                    t_edge = self.t_start + k * self.bit_time
+                    if self.edge_time > 0:
+                        frac = (tf - t_edge) / self.edge_time
+                        frac = 0.0 if frac < 0.0 else (1.0 if frac > 1.0 else frac)
+                    else:
+                        frac = 1.0 if tf >= t_edge else 0.0
+                    out = out + (level - prev) * frac
+                prev = level
+            return float(out)
         t = np.asarray(t, dtype=float)
         out = np.full(t.shape if t.ndim else (), self._level(self.pattern[0]), dtype=float)
         out = np.atleast_1d(out).astype(float)
@@ -322,8 +350,6 @@ class BitPattern(Waveform):
                     frac = np.where(tt >= t_edge, 1.0, 0.0)
                 out = out + (level - prev) * frac
             prev = level
-        if np.ndim(t) == 0:
-            return float(out[0])
         return out
 
     @property
