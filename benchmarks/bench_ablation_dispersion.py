@@ -8,7 +8,6 @@ the deviation of the 3-D hybrid waveform from the 1-D (dispersionless)
 hybrid is reported for both.
 """
 
-import numpy as np
 
 from repro.core.cosim import LinkDescription
 from repro.experiments.fig4_rc_load import run_fdtd1d_link, run_fdtd3d_link

@@ -134,6 +134,12 @@ def main(argv=None) -> int:
     parser.add_argument("--output", default="BENCH_perf.json")
     parser.add_argument("--trials", type=int, default=2)
     parser.add_argument("--quick", action="store_true", help="shorter transients")
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="gate on every engine's fast-vs-reference speedup instead of the "
+        "full-workload targets (evaluated even with --quick; the CI perf "
+        "smoke uses 1.0: the fast path must never lose to the reference)",
+    )
     args = parser.parse_args(argv)
 
     scale = bench_scale()
@@ -168,6 +174,14 @@ def main(argv=None) -> int:
         json.dump(report, handle, indent=2)
     print(f"wrote {args.output}")
 
+    if args.min_speedup is not None:
+        worst = min(entry["speedup"] for entry in engines.values())
+        ok = worst >= args.min_speedup
+        print(
+            f"minimum speedup {worst:.2f}x "
+            f"({'meets' if ok else 'BELOW'} the {args.min_speedup:g}x gate)"
+        )
+        return 0 if ok else 1
     if args.quick:
         # Short transients under-amortise the per-run setup; quick mode is a
         # smoke run and does not gate on the full-workload targets.

@@ -23,7 +23,7 @@ from repro.circuits.elements import Capacitor, Resistor, VoltageSource
 from repro.circuits.netlist import GROUND, Circuit
 from repro.circuits.rbf_element import MacromodelElement
 from repro.circuits.tline import IdealTransmissionLine
-from repro.circuits.transient import TransientOptions, TransientSolver
+from repro.circuits.transient import TransientSolver
 from repro.core.cosim import LinkDescription, SimulationResult
 from repro.macromodel.driver import DriverMacromodel, LogicStimulus
 from repro.macromodel.library import ReferenceDeviceParameters

@@ -30,9 +30,9 @@ import numpy as np
 from repro import perf
 from repro.circuits.elements import Element, StampContext
 from repro.circuits.netlist import Circuit, CompiledCircuit, GROUND
-from repro.perf.mna import FastPathAssembler
+from repro.perf.mna import FastPathAssembler, SharedStaticContext
 
-__all__ = ["TransientOptions", "CircuitResult", "TransientSolver"]
+__all__ = ["TransientOptions", "CircuitResult", "TransientRun", "TransientSolver"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -120,6 +120,31 @@ class CircuitResult:
         return self.branch_currents[key]
 
 
+class TransientRun:
+    """Mutable state of one transient run (see :meth:`TransientSolver.begin`).
+
+    A run is normally driven to completion by :meth:`TransientSolver.run`,
+    but the scenario-sweep engine (:mod:`repro.sweep`) drives several runs
+    in lockstep — one :meth:`TransientSolver.begin_step` /
+    :meth:`~TransientSolver.newton_iteration` / :meth:`~TransientSolver.end_step`
+    cycle per time step per scenario — so the whole stepping state lives
+    here rather than in local variables of a monolithic loop.
+    """
+
+    __slots__ = (
+        "times", "n_steps", "step", "t", "x", "ctx", "assembler",
+        "rec_idx", "recorded", "iterations", "record_nodes", "branch_keys",
+        "accept_elements", "newton_count", "step_converged", "start_time",
+    )
+
+    def __init__(self):
+        self.step = 0
+        self.t = 0.0
+        self.ctx: StampContext | None = None
+        self.newton_count = 0
+        self.step_converged = False
+
+
 class TransientSolver:
     """Fixed-step Newton-Raphson transient solver."""
 
@@ -128,6 +153,7 @@ class TransientSolver:
         circuit: Circuit,
         dt: float,
         options: TransientOptions | None = None,
+        shared_static: SharedStaticContext | None = None,
     ):
         if dt <= 0:
             raise ValueError("dt must be positive")
@@ -136,6 +162,8 @@ class TransientSolver:
         self.options = options or TransientOptions()
         self.compiled: CompiledCircuit = circuit.compile()
         self.fast = perf.resolve_fast(self.options.fast)
+        #: optional static-stamp/LU cache shared with other runs of a sweep
+        self.shared_static = shared_static
         #: assembly/solve counters of the last run (fast path only)
         self.perf_stats: dict = {"mode": "fast" if self.fast else "reference"}
         # Newton-update scratch (allocation-free convergence checks).
@@ -158,43 +186,162 @@ class TransientSolver:
         A[diag, diag] += self.options.gmin
         return A, rhs, ctx
 
-    def _solve_step(
+    # -- session API ------------------------------------------------------
+    # A run decomposes into begin() -> [begin_step -> newton_iteration* ->
+    # end_step]* -> finish().  run() drives one circuit to completion; the
+    # sweep engine (repro.sweep) interleaves these calls across many runs so
+    # that static assembly/factorization and RBF basis evaluations can be
+    # shared within every time step.
+
+    def begin(
         self,
-        x_prev: np.ndarray,
-        t: float,
-        assembler: FastPathAssembler | None = None,
-    ) -> tuple[np.ndarray, int, StampContext]:
+        duration: float,
+        record_nodes: Optional[Iterable[str]] = None,
+        record_branches: Optional[Sequence[tuple[str, int]]] = None,
+        initial_voltages: Optional[Dict[str, float]] = None,
+    ) -> TransientRun:
+        """Reset the circuit and set up the state of a new transient run."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        run = TransientRun()
+        run.start_time = _time.perf_counter()
+        compiled = self.compiled
+        run.n_steps = int(round(duration / self.dt))
+        run.times = self.dt * np.arange(run.n_steps + 1)
+
+        for element in self.circuit.elements:
+            element.reset()
+
+        run.assembler = None
+        if self.fast:
+            run.assembler = FastPathAssembler(
+                self.circuit, compiled, self.dt, self.options.method,
+                self.options.gmin, shared=self.shared_static,
+            )
+            run.assembler.begin_run()
+            self.perf_stats = run.assembler.stats
+
+        x = np.zeros(compiled.n_unknowns)
+        if initial_voltages:
+            for node, value in initial_voltages.items():
+                idx = compiled.index_of(node)
+                if idx is not None:
+                    x[idx] = value
+        run.x = x
+
+        if record_nodes is None:
+            record_nodes = list(compiled.node_index)
+        run.record_nodes = [n for n in record_nodes if n != GROUND]
+        if record_branches is None:
+            record_branches = [
+                (name, k)
+                for name, offset in compiled.branch_offset.items()
+                for k in range(
+                    next(
+                        el.n_branch_currents
+                        for el in self.circuit.elements
+                        if el.name == name
+                    )
+                )
+            ]
+
+        # One gather per step into a preallocated table instead of per-signal
+        # python loops with dict lookups.
+        run.branch_keys = [f"{name}[{k}]" for name, k in record_branches]
+        run.rec_idx = np.array(
+            [compiled.index_of(n) for n in run.record_nodes]
+            + [compiled.branch_index(name, k) for name, k in record_branches],
+            dtype=np.intp,
+        )
+        run.recorded = np.zeros((run.n_steps + 1, run.rec_idx.size))
+        run.iterations = np.zeros(run.n_steps + 1, dtype=int)
+
+        # Elements whose accept() is the no-op base hook need no per-step call.
+        run.accept_elements = [
+            el for el in self.circuit.elements if type(el).accept is not Element.accept
+        ]
+
+        if run.rec_idx.size:
+            np.take(x, run.rec_idx, out=run.recorded[0])
+        return run
+
+    def begin_step(self, run: TransientRun) -> None:
+        """Open the next time step (per-step static RHS, fresh Newton state)."""
+        run.step += 1
+        # Python-float time: every downstream scalar use (source waveforms,
+        # stamp contexts, memo keys) is faster than with a numpy scalar, and
+        # the value is identical.  run.x is never mutated in place by the
+        # Newton iteration (each update rebinds a fresh array), so the
+        # previous step's solution needs no defensive copy.
+        run.t = float(run.times[run.step])
+        run.newton_count = 0
+        run.step_converged = False
+        if run.assembler is not None:
+            run.ctx = run.assembler.begin_step(run.t)
+        else:
+            run.ctx = None
+
+    def newton_iteration(self, run: TransientRun) -> bool:
+        """One Newton iteration around ``run.x``; True when converged."""
         opts = self.options
         n_nodes = self.compiled.n_nodes
-        x = x_prev.copy()
-        if assembler is not None:
-            ctx = assembler.begin_step(t)
+        x = run.x
+        if run.assembler is not None:
+            A, rhs = run.assembler.iterate(x, run.ctx)
+            x_new = run.assembler.solve(A, rhs)
         else:
-            ctx = None
-        for iteration in range(1, opts.max_newton_iterations + 1):
-            if assembler is not None:
-                A, rhs = assembler.iterate(x, ctx)
-                x_new = assembler.solve(A, rhs)
-            else:
-                A, rhs, ctx = self._assemble(x, t)
-                try:
-                    x_new = np.linalg.solve(A, rhs)
-                except np.linalg.LinAlgError:
-                    x_new = np.linalg.lstsq(A, rhs, rcond=None)[0]
-            delta = np.subtract(x_new, x, out=self._delta)
-            np.abs(delta, out=self._delta_abs)
-            # damp node-voltage updates
-            dv_max = self._dabs_v.max() if n_nodes else 0.0
-            if dv_max > opts.max_delta_v:
-                scale = opts.max_delta_v / dv_max
-                x = x + delta * scale
-                continue
-            x = x_new
-            v_ok = dv_max < opts.abstol_v
-            i_ok = self._dabs_i.size == 0 or self._dabs_i.max() < opts.abstol_i
-            if v_ok and i_ok:
-                return x, iteration, ctx
-        return x, opts.max_newton_iterations, ctx
+            A, rhs, run.ctx = self._assemble(x, run.t)
+            try:
+                x_new = np.linalg.solve(A, rhs)
+            except np.linalg.LinAlgError:
+                x_new = np.linalg.lstsq(A, rhs, rcond=None)[0]
+        run.newton_count += 1
+        delta = np.subtract(x_new, x, out=self._delta)
+        np.abs(delta, out=self._delta_abs)
+        # damp node-voltage updates
+        dv_max = self._dabs_v.max() if n_nodes else 0.0
+        if dv_max > opts.max_delta_v:
+            run.x = x + delta * (opts.max_delta_v / dv_max)
+            return False
+        run.x = x_new
+        v_ok = dv_max < opts.abstol_v
+        i_ok = self._dabs_i.size == 0 or self._dabs_i.max() < opts.abstol_i
+        run.step_converged = v_ok and i_ok
+        return run.step_converged
+
+    def end_step(self, run: TransientRun) -> None:
+        """Commit the converged step: element accepts and sample recording."""
+        run.iterations[run.step] = run.newton_count
+        for element in run.accept_elements:
+            element.accept(run.x, run.ctx)
+        if run.rec_idx.size:
+            np.take(run.x, run.rec_idx, out=run.recorded[run.step])
+
+    def step_once(self, run: TransientRun) -> None:
+        """Advance the run by one full time step (Newton to convergence)."""
+        opts = self.options
+        self.begin_step(run)
+        while not run.step_converged and run.newton_count < opts.max_newton_iterations:
+            self.newton_iteration(run)
+        self.end_step(run)
+
+    def finish(self, run: TransientRun) -> CircuitResult:
+        """Package the recorded samples of a completed run."""
+        n_rec_nodes = len(run.record_nodes)
+        voltages = {
+            node: run.recorded[:, k].copy() for k, node in enumerate(run.record_nodes)
+        }
+        currents = {
+            key: run.recorded[:, n_rec_nodes + k].copy()
+            for k, key in enumerate(run.branch_keys)
+        }
+        return CircuitResult(
+            times=run.times,
+            node_voltages=voltages,
+            branch_currents=currents,
+            newton_iterations=run.iterations,
+            wall_time=_time.perf_counter() - run.start_time,
+        )
 
     # -- public API -------------------------------------------------------
     def run(
@@ -220,91 +367,12 @@ class TransientSolver:
             Optional initial node voltages (default 0 V everywhere); useful
             for starting from an approximate DC state.
         """
-        if duration <= 0:
-            raise ValueError("duration must be positive")
-        start = _time.perf_counter()
-        compiled = self.compiled
-        n_steps = int(round(duration / self.dt))
-        times = self.dt * np.arange(n_steps + 1)
-
-        for element in self.circuit.elements:
-            element.reset()
-
-        assembler: FastPathAssembler | None = None
-        if self.fast:
-            assembler = FastPathAssembler(
-                self.circuit, compiled, self.dt, self.options.method, self.options.gmin
-            )
-            assembler.begin_run()
-            self.perf_stats = assembler.stats
-
-        x = np.zeros(compiled.n_unknowns)
-        if initial_voltages:
-            for node, value in initial_voltages.items():
-                idx = compiled.index_of(node)
-                if idx is not None:
-                    x[idx] = value
-
-        if record_nodes is None:
-            record_nodes = list(compiled.node_index)
-        record_nodes = [n for n in record_nodes if n != GROUND]
-        if record_branches is None:
-            record_branches = [
-                (name, k)
-                for name, offset in compiled.branch_offset.items()
-                for k in range(
-                    next(
-                        el.n_branch_currents
-                        for el in self.circuit.elements
-                        if el.name == name
-                    )
-                )
-            ]
-
-        # One gather per step into a preallocated table instead of per-signal
-        # python loops with dict lookups.
-        branch_keys = [f"{name}[{k}]" for name, k in record_branches]
-        rec_idx = np.array(
-            [compiled.index_of(n) for n in record_nodes]
-            + [compiled.branch_index(name, k) for name, k in record_branches],
-            dtype=np.intp,
+        run = self.begin(
+            duration,
+            record_nodes=record_nodes,
+            record_branches=record_branches,
+            initial_voltages=initial_voltages,
         )
-        recorded = np.zeros((n_steps + 1, rec_idx.size))
-        iterations = np.zeros(n_steps + 1, dtype=int)
-
-        # Elements whose accept() is the no-op base hook need no per-step call.
-        accept_elements = [
-            el for el in self.circuit.elements if type(el).accept is not Element.accept
-        ]
-
-        if rec_idx.size:
-            np.take(x, rec_idx, out=recorded[0])
-
-        for step in range(1, n_steps + 1):
-            # Python-float time: every downstream scalar use (source
-            # waveforms, stamp contexts, memo keys) is faster than with a
-            # numpy scalar, and the value is identical.
-            t = float(times[step])
-            x, n_iter, ctx = self._solve_step(x, t, assembler)
-            iterations[step] = n_iter
-            for element in accept_elements:
-                element.accept(x, ctx)
-            if rec_idx.size:
-                np.take(x, rec_idx, out=recorded[step])
-
-        n_rec_nodes = len(record_nodes)
-        voltages = {
-            node: recorded[:, k].copy() for k, node in enumerate(record_nodes)
-        }
-        currents = {
-            key: recorded[:, n_rec_nodes + k].copy()
-            for k, key in enumerate(branch_keys)
-        }
-
-        return CircuitResult(
-            times=times,
-            node_voltages=voltages,
-            branch_currents=currents,
-            newton_iterations=iterations,
-            wall_time=_time.perf_counter() - start,
-        )
+        for _ in range(run.n_steps):
+            self.step_once(run)
+        return self.finish(run)

@@ -92,8 +92,8 @@ def resampled_stability_region(
     if tau <= 0:
         raise ValueError("tau must be positive")
     lam = unit_disc_samples(n_radial, n_angular)
-    eta = np.array([continuous_eigenvalue(l, sampling_time) for l in lam])
-    lam_tilde = np.array([resampled_eigenvalue(l, tau) for l in lam])
+    eta = np.array([continuous_eigenvalue(lam_k, sampling_time) for lam_k in lam])
+    lam_tilde = np.array([resampled_eigenvalue(lam_k, tau) for lam_k in lam])
     return StabilityRegion(
         discrete=lam,
         continuous=eta,

@@ -102,19 +102,45 @@ def identification_cache_path(
 def _load_identified_from_disk(
     path: str, params: ReferenceDeviceParameters
 ) -> ReferenceMacromodels | None:
-    """Rebuild a cached identification result; ``None`` on any failure."""
+    """Rebuild a cached identification result; ``None`` on any failure.
+
+    Cache entries are written atomically (temp file + ``os.replace``), but a
+    concurrent CI run may still hand us a truncated/corrupt entry from an
+    older writer or a different library version.  Any failure — parse error,
+    missing key, shape mismatch inside the deserialiser — falls back to
+    re-identification; the corrupt entry is removed (best effort) so later
+    runs do not trip over it again.
+    """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
+    except OSError:
+        # Transient read failure (shared CI volume hiccup): the entry may be
+        # perfectly valid, so re-identify without destroying it.
+        return None
+    except ValueError:
+        # Unparseable JSON is permanently corrupt: remove it.
+        _unlink_quietly(path)
+        return None
+    try:
         models = ReferenceMacromodels(
             driver=macromodel_from_dict(payload["driver"]),
             receiver=macromodel_from_dict(payload["receiver"]),
             params=params,
             source="identified (disk cache)",
         )
-    except (OSError, ValueError, KeyError, TypeError):
+    except Exception:
+        # Structurally wrong payload (old format, foreign writer): remove it.
+        _unlink_quietly(path)
         return None
     return models
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
 
 
 def _store_identified_to_disk(path: str, models: ReferenceMacromodels) -> None:

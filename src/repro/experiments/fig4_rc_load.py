@@ -22,8 +22,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Optional
 
-import numpy as np
-
 from repro.circuits.testbenches import run_link_rbf, run_link_transistor
 from repro.core.cosim import LinkDescription, SimulationResult
 from repro.core.ports import (

@@ -7,6 +7,8 @@ Intended for command-line use::
 ``--fast`` uses the analytic library macromodels and shortened structures
 so the whole evaluation completes in a couple of minutes; without it the
 full identification workflow and the paper-size structures are used.
+``--sweep`` runs the batched scenario-sweep study instead (bit-pattern x
+corner sweep of the RBF link with an eye-diagram/worst-corner report).
 """
 
 from __future__ import annotations
@@ -23,7 +25,35 @@ from repro.experiments.fig7_pcb import run_figure7
 from repro.experiments.newton_iterations import run_newton_iteration_study
 from repro.experiments.reporting import format_table, sample_series
 
-__all__ = ["main"]
+__all__ = ["main", "run_sweep_study"]
+
+
+def run_sweep_study(models, bit_time: float = 2e-9, dt: float = 1e-11) -> None:
+    """Batched pattern x corner sweep of the RBF link with an eye report."""
+    from repro.sweep import Scenario, eye_report, rbf_link_sweep
+
+    patterns = ["01011010", "01100110", "01010101", "00111001"]
+    scenarios = [
+        Scenario(name=f"{pattern}/z{z0:.0f}", bit_pattern=pattern, corner=corner)
+        for pattern in patterns
+        for z0, corner in ((131.0, {}), (100.0, {"z0": 100.0}))
+    ]
+    duration = (len(patterns[0]) + 1) * bit_time
+    sweep = rbf_link_sweep(
+        scenarios, {None: (models.driver, models.receiver)}, dt=dt, duration=duration
+    )
+    result = sweep.run()
+    vdd = models.params.vdd
+    report = eye_report(result, "far", bit_time, low=0.0, high=vdd, t_start=bit_time)
+    print(report.format())
+    stats = result.perf_stats
+    print(
+        f"\n{result.n_scenarios} scenarios in {result.wall_time:.2f} s "
+        f"({result.amortised_wall_time()*1e3:.1f} ms/scenario amortised); "
+        f"{stats['static_groups']} static groups, "
+        f"{stats['static_reuses']} static reuses, "
+        f"{stats['batched_rbf_evals']} batched RBF evaluations"
+    )
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -31,10 +61,20 @@ def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0, help="structure length scale")
     parser.add_argument("--fast", action="store_true", help="library macromodels, small structures")
+    parser.add_argument(
+        "--sweep", action="store_true",
+        help="run the batched scenario-sweep study (eye/worst-corner report)",
+    )
     args = parser.parse_args(argv)
 
     scale = min(args.scale, 0.25) if args.fast else args.scale
     use_identification = not args.fast
+
+    if args.sweep:
+        print("== Scenario sweep: bit patterns x line corners, batched engine ==")
+        models = identified_reference_macromodels(use_identification=use_identification)
+        run_sweep_study(models)
+        return
 
     print("== Figure 2: resampling stability ==")
     fig2 = run_figure2()

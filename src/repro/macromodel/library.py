@@ -38,7 +38,7 @@ from typing import Dict, Iterator
 import numpy as np
 
 from repro.macromodel.driver import DriverMacromodel, SwitchingWeights
-from repro.macromodel.identification import fit_linear_submodel, fit_rbf_submodel
+from repro.macromodel.identification import fit_rbf_submodel
 from repro.macromodel.receiver import LinearSubmodel, ReceiverMacromodel
 from repro.macromodel.serialization import macromodel_from_dict, macromodel_to_dict
 

@@ -54,10 +54,84 @@ from repro.circuits.elements import StampContext
 if TYPE_CHECKING:  # pragma: no cover
     from repro.circuits.netlist import Circuit, CompiledCircuit
 
-__all__ = ["FastPathAssembler", "SPARSE_THRESHOLD"]
+__all__ = ["FastPathAssembler", "SharedStaticContext", "SPARSE_THRESHOLD"]
 
 #: above this many unknowns a constant Jacobian is factorised sparsely
 SPARSE_THRESHOLD = 256
+
+
+class SharedStaticContext:
+    """Static stamp and factorization shared across the runs of a sweep.
+
+    Scenario sweeps (:mod:`repro.sweep`) run many transients whose circuits
+    differ only in their *stimuli* (bit patterns, source amplitudes): every
+    static matrix stamp — and, for purely linear circuits, the LU
+    factorization — is identical across the batch.  A ``SharedStaticContext``
+    passed to several :class:`FastPathAssembler` instances lets the first
+    run assemble and factor, and every later run reuse the result.
+
+    The caller guarantees that all sharing circuits produce identical static
+    stamps (same topology, same element values, same ``dt``/``method``/
+    ``gmin``); the context verifies only a cheap signature (unknown count,
+    time step, method, gmin) and raises on mismatch.
+    """
+
+    def __init__(self):
+        self.A_static: np.ndarray | None = None
+        self.lu = None
+        self.sparse_lu = None
+        self.signature: tuple | None = None
+        self.stats = {"factorizations": 0, "static_reuses": 0, "block_solves": 0}
+
+    def _check_signature(self, signature: tuple) -> None:
+        if self.signature is None:
+            self.signature = signature
+        elif self.signature != signature:
+            raise ValueError(
+                "SharedStaticContext reused across incompatible runs: "
+                f"{self.signature} vs {signature}"
+            )
+
+    # -- factorization reuse ----------------------------------------------
+    def ensure_factorized(self) -> None:
+        """Factor the captured static matrix once (no-op when already done).
+
+        Used by the sweep engine's direct linear path, which solves all
+        scenarios of a step in one block solve without going through a
+        per-assembler :meth:`FastPathAssembler.solve`.
+        """
+        if self.A_static is None:
+            raise RuntimeError("no static matrix captured yet")
+        if self.lu is not None or self.sparse_lu is not None:
+            return
+        if _lu_factor is None:
+            return  # scipy-less fallback: solve_block uses dense solves
+        if self.A_static.shape[0] > SPARSE_THRESHOLD and _splu is not None:
+            self.sparse_lu = _splu(_csc_matrix(self.A_static))
+        else:
+            self.lu = _lu_factor(self.A_static, check_finite=False)
+        self.stats["factorizations"] += 1
+
+    def solve_block(self, rhs_block: np.ndarray) -> np.ndarray:
+        """Solve ``A_static X = rhs_block`` for a whole ``(n, M)`` block."""
+        self.ensure_factorized()
+        self.stats["block_solves"] += 1
+        if self.sparse_lu is not None:
+            x = self.sparse_lu.solve(rhs_block)
+        elif self.lu is not None:
+            x = _lu_solve(self.lu, rhs_block, check_finite=False)
+        else:
+            x = np.linalg.solve(self.A_static, rhs_block)
+        if not np.all(np.isfinite(x)):
+            # Singular/ill-posed system: per-column robust fallback.
+            x = np.stack(
+                [
+                    np.linalg.lstsq(self.A_static, rhs_block[:, k], rcond=None)[0]
+                    for k in range(rhs_block.shape[1])
+                ],
+                axis=1,
+            )
+        return x
 
 
 class FastPathAssembler:
@@ -79,12 +153,14 @@ class FastPathAssembler:
         dt: float,
         method: str,
         gmin: float,
+        shared: SharedStaticContext | None = None,
     ):
         self.circuit = circuit
         self.compiled = compiled
         self.dt = float(dt)
         self.method = method
         self.gmin = float(gmin)
+        self._shared = shared
 
         self.static_elements = [
             el for el in circuit.elements if getattr(el, "stamp_kind", "dynamic") == "static"
@@ -116,7 +192,27 @@ class FastPathAssembler:
 
     # -- assembly ---------------------------------------------------------
     def begin_run(self) -> None:
-        """Assemble the per-run static matrix (call after element resets)."""
+        """Assemble the per-run static matrix (call after element resets).
+
+        When a :class:`SharedStaticContext` was given and already holds a
+        captured static matrix, the assembly (and any cached factorization)
+        is reused instead of recomputed — the caller vouches that the static
+        stamps are identical across the sharing runs.
+        """
+        shared = self._shared
+        if shared is not None:
+            shared._check_signature(
+                (self.compiled.n_unknowns, self.dt, self.method, self.gmin)
+            )
+            if shared.A_static is not None:
+                self._A_static = shared.A_static
+                self._lu = shared.lu
+                self._sparse_lu = shared.sparse_lu
+                shared.stats["static_reuses"] += 1
+                self.stats["static_reused"] = True
+                for element, _ in self.dynamic_stamps:
+                    element.prepare_fast(self.compiled)
+                return
         ctx = StampContext(self.compiled, self.dt, 0.0, self.method)
         A = self._A_static
         A[:] = 0.0
@@ -128,6 +224,8 @@ class FastPathAssembler:
             element.prepare_fast(self.compiled)
         self._lu = None
         self._sparse_lu = None
+        if shared is not None:
+            shared.A_static = A
 
     def begin_step(self, t: float) -> StampContext:
         """Assemble the per-step static RHS and return the step context."""
@@ -137,6 +235,11 @@ class FastPathAssembler:
         for element in self.static_elements:
             element.stamp_rhs(rhs, ctx)
         return ctx
+
+    @property
+    def rhs_static(self) -> np.ndarray:
+        """The per-step x-independent RHS assembled by :meth:`begin_step`."""
+        return self._rhs_static
 
     def iterate(self, x: np.ndarray, ctx: StampContext) -> tuple[np.ndarray, np.ndarray]:
         """Assemble the full system for one Newton iteration around ``x``."""
@@ -154,10 +257,19 @@ class FastPathAssembler:
     def solve(self, A: np.ndarray, rhs: np.ndarray) -> np.ndarray:
         """Solve ``A x = rhs``, reusing the cached factorization when valid."""
         if self.linear_only and _lu_factor is not None:
+            if self._lu is None and self._sparse_lu is None and self._shared is not None:
+                # A sharing run may have factored after our begin_run (e.g.
+                # the linear members of a mixed linear/nonlinear group):
+                # pick the factors up lazily instead of refactoring.
+                self._lu = self._shared.lu
+                self._sparse_lu = self._shared.sparse_lu
             if A.shape[0] > SPARSE_THRESHOLD and _splu is not None:
                 if self._sparse_lu is None:
                     self._sparse_lu = _splu(_csc_matrix(A))
                     self.stats["factorizations"] += 1
+                    if self._shared is not None:
+                        self._shared.sparse_lu = self._sparse_lu
+                        self._shared.stats["factorizations"] += 1
                 else:
                     self.stats["cached_solves"] += 1
                 x = self._sparse_lu.solve(rhs)
@@ -165,6 +277,9 @@ class FastPathAssembler:
                 if self._lu is None:
                     self._lu = _lu_factor(A, check_finite=False)
                     self.stats["factorizations"] += 1
+                    if self._shared is not None:
+                        self._shared.lu = self._lu
+                        self._shared.stats["factorizations"] += 1
                 else:
                     self.stats["cached_solves"] += 1
                 x = _lu_solve(self._lu, rhs, check_finite=False)
@@ -173,6 +288,9 @@ class FastPathAssembler:
             # Singular / ill-posed system: fall through to the robust path.
             self._lu = None
             self._sparse_lu = None
+            if self._shared is not None:
+                self._shared.lu = None
+                self._shared.sparse_lu = None
         self.stats["dense_solves"] += 1
         if not self.linear_only:
             self.stats["factorizations"] += 1

@@ -1,0 +1,276 @@
+"""Lockstep batched execution of transient scenario sweeps.
+
+The engine advances every scenario of a sweep through the *same* time step
+together, which is what unlocks the sharing:
+
+* **static MNA assembly and LU factorization** — scenarios with equal
+  corner values share one :class:`~repro.perf.mna.SharedStaticContext`;
+  the static matrix is stamped once and, for purely linear circuits,
+  LU-factored exactly once for the whole batch;
+* **linear block solves** — all linear scenarios of a static group are
+  advanced with one multi-right-hand-side ``LU x = B`` solve per time step
+  instead of one Newton loop with per-scenario solves each;
+* **batched RBF evaluation** — the macromodel ports of all scenarios that
+  share a device variant are evaluated in one vectorised Gaussian pass per
+  Newton iteration (:func:`repro.perf.rbf_fast.prewarm_ports`), so the
+  per-scenario stamping code hits a warm cache.
+
+Each nonlinear scenario still executes exactly the Newton iterations it
+would run standalone — the batch changes where the arithmetic happens, not
+what is computed — so batched and sequential waveforms agree to ~1e-12
+relative (``tests/test_sweep.py`` pins this).  Purely linear scenarios are
+advanced by one exact block solve per step: their waveforms are likewise
+equivalent, but their recorded ``newton_iterations`` is 1 per step, not
+the damped-update/confirming-re-solve count a standalone run reports —
+iteration counts are solver bookkeeping, and the waveforms are the
+contract.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro import perf
+from repro.circuits.netlist import Circuit
+from repro.circuits.transient import TransientOptions, TransientSolver
+from repro.perf.mna import SharedStaticContext
+from repro.perf.rbf_fast import batch_key, prewarm_ports
+from repro.sweep.result import SweepResult
+from repro.sweep.scenario import Scenario
+
+__all__ = ["CircuitSweep"]
+
+
+def _port_voltage(x: np.ndarray, fast_idx) -> float:
+    """Candidate port voltage, computed exactly like the element stamp."""
+    i_node, i_ref = fast_idx
+    vn = x.item(i_node) if i_node is not None else 0.0
+    vr = x.item(i_ref) if i_ref is not None else 0.0
+    return vn - vr
+
+
+class CircuitSweep:
+    """A batch of transient scenarios over one parametrised circuit.
+
+    Parameters
+    ----------
+    builder:
+        ``builder(scenario) -> Circuit``; must return a fresh circuit per
+        call.  Scenarios sharing a :meth:`~repro.sweep.scenario.Scenario.static_key`
+        must produce identical static stamps (see :mod:`repro.sweep.scenario`).
+    scenarios:
+        The scenarios to run (unique names).
+    dt, duration:
+        Common time step and span; lockstep batching requires them equal
+        across the batch.
+    record_nodes, record_branches:
+        Forwarded to :meth:`repro.circuits.transient.TransientSolver.begin`.
+    options:
+        Transient solver options shared by every scenario.
+    initial_voltages:
+        Optional ``initial_voltages(scenario) -> dict | None`` hook.
+    """
+
+    def __init__(
+        self,
+        builder: Callable[[Scenario], Circuit],
+        scenarios: Sequence[Scenario],
+        dt: float,
+        duration: float,
+        record_nodes: Optional[Iterable[str]] = None,
+        record_branches: Optional[Sequence[tuple[str, int]]] = None,
+        options: TransientOptions | None = None,
+        initial_voltages: Optional[Callable[[Scenario], Optional[Dict[str, float]]]] = None,
+    ):
+        scenarios = list(scenarios)
+        if not scenarios:
+            raise ValueError("a sweep needs at least one scenario")
+        names = [sc.name for sc in scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(f"scenario names must be unique, got {names}")
+        self.builder = builder
+        self.scenarios = scenarios
+        self.dt = float(dt)
+        self.duration = float(duration)
+        self.record_nodes = list(record_nodes) if record_nodes is not None else None
+        self.record_branches = list(record_branches) if record_branches is not None else None
+        self.options = options or TransientOptions()
+        self.initial_voltages = initial_voltages
+
+    # -- sequential oracle -------------------------------------------------
+    def run_sequential(self) -> SweepResult:
+        """Run every scenario as an independent cold transient (no sharing).
+
+        This is the equivalence oracle and the timing baseline the batched
+        path is measured against: each scenario pays its own compile,
+        assembly, factorization and per-step solves.
+        """
+        start = _time.perf_counter()
+        results: Dict[str, object] = {}
+        times = None
+        for scenario in self.scenarios:
+            solver = TransientSolver(self.builder(scenario), self.dt, options=self.options)
+            iv = self.initial_voltages(scenario) if self.initial_voltages else None
+            result = solver.run(
+                self.duration,
+                record_nodes=self.record_nodes,
+                record_branches=self.record_branches,
+                initial_voltages=iv,
+            )
+            results[scenario.name] = result
+            times = result.times
+        return SweepResult(
+            times=times,
+            scenarios=self.scenarios,
+            results=results,
+            perf_stats={"mode": "sequential", "n_scenarios": len(self.scenarios)},
+            wall_time=_time.perf_counter() - start,
+        )
+
+    # -- batched lockstep run ----------------------------------------------
+    def run(self) -> SweepResult:
+        """Run the whole batch through one shared engine context."""
+        start = _time.perf_counter()
+        fast = perf.resolve_fast(self.options.fast)
+
+        contexts: Dict[object, SharedStaticContext] = {}
+        solvers: list[TransientSolver] = []
+        for scenario in self.scenarios:
+            shared = None
+            if fast:
+                shared = contexts.setdefault(scenario.static_key(), SharedStaticContext())
+            solvers.append(
+                TransientSolver(
+                    self.builder(scenario), self.dt, options=self.options,
+                    shared_static=shared,
+                )
+            )
+
+        runs = []
+        for scenario, solver in zip(self.scenarios, solvers):
+            iv = self.initial_voltages(scenario) if self.initial_voltages else None
+            runs.append(
+                solver.begin(
+                    self.duration,
+                    record_nodes=self.record_nodes,
+                    record_branches=self.record_branches,
+                    initial_voltages=iv,
+                )
+            )
+        n_steps = runs[0].n_steps
+        if any(run.n_steps != n_steps for run in runs):
+            raise ValueError("lockstep sweep requires an equal step count per scenario")
+
+        # Scenarios advanced by one block solve per step: the members of a
+        # shared static context that are all purely linear.
+        direct: list[tuple[SharedStaticContext, list[int]]] = []
+        newton_indices = list(range(len(runs)))
+        if fast:
+            members: Dict[SharedStaticContext, list[int]] = defaultdict(list)
+            for idx, run in enumerate(runs):
+                members[run.assembler._shared].append(idx)
+            for ctx, idxs in members.items():
+                if all(runs[i].assembler.linear_only for i in idxs):
+                    direct.append((ctx, idxs))
+            direct_set = {i for _, idxs in direct for i in idxs}
+            newton_indices = [i for i in range(len(runs)) if i not in direct_set]
+
+        # Macromodel ports grouped across scenarios by device variant; each
+        # group of >= 2 live ports gets one vectorised basis evaluation per
+        # lockstep Newton iteration.
+        port_groups: list[list[tuple[int, object]]] = []
+        if fast:
+            grouped = defaultdict(list)
+            for idx in newton_indices:
+                for element in solvers[idx].circuit.elements:
+                    port = getattr(element, "port", None)
+                    evaluator = getattr(port, "_fast", None)
+                    fast_idx = getattr(element, "_fast_idx", None)
+                    if port is None or evaluator is None or fast_idx is None:
+                        continue
+                    key = batch_key(port.model)
+                    if key is not None:
+                        grouped[key].append((idx, element))
+            port_groups = [group for group in grouped.values() if len(group) >= 2]
+
+        # Every counter is present in both modes (zeroed on the reference
+        # path) so reports can read them unconditionally.
+        stats = {
+            "mode": "fast" if fast else "reference",
+            "n_scenarios": len(self.scenarios),
+            "static_groups": len(contexts) if fast else 0,
+            "direct_linear_scenarios": sorted(
+                self.scenarios[i].name for _, idxs in direct for i in idxs
+            ),
+            "batched_port_groups": len(port_groups),
+            "batched_rbf_evals": 0,
+            "shared_factorizations": 0,
+            "static_reuses": 0,
+            "block_solves": 0,
+        }
+
+        cap = self.options.max_newton_iterations
+        rhs_blocks = [
+            np.empty((runs[idxs[0]].x.size, len(idxs))) for _, idxs in direct
+        ]
+        for step in range(n_steps):
+            for solver, run in zip(solvers, runs):
+                solver.begin_step(run)
+
+            for (ctx, idxs), rhs_block in zip(direct, rhs_blocks):
+                for col, i in enumerate(idxs):
+                    rhs_block[:, col] = runs[i].assembler.rhs_static
+                solution = ctx.solve_block(rhs_block)
+                for col, i in enumerate(idxs):
+                    runs[i].x = np.ascontiguousarray(solution[:, col])
+                    runs[i].newton_count = 1
+                    runs[i].step_converged = True
+
+            active = set(newton_indices)
+            while active:
+                for group in port_groups:
+                    live = [(idx, el) for idx, el in group if idx in active]
+                    if len(live) < 2:
+                        continue
+                    ports = [el.port for _, el in live]
+                    vs = [_port_voltage(runs[idx].x, el._fast_idx) for idx, el in live]
+                    if prewarm_ports(ports, vs, runs[live[0][0]].t):
+                        stats["batched_rbf_evals"] += len(live)
+                for i in tuple(active):
+                    solver, run = solvers[i], runs[i]
+                    solver.newton_iteration(run)
+                    if run.step_converged or run.newton_count >= cap:
+                        active.discard(i)
+
+            for solver, run in zip(solvers, runs):
+                solver.end_step(run)
+
+        results = {
+            scenario.name: solver.finish(run)
+            for scenario, solver, run in zip(self.scenarios, solvers, runs)
+        }
+        if fast:
+            stats["shared_factorizations"] = sum(
+                ctx.stats["factorizations"] for ctx in contexts.values()
+            )
+            stats["static_reuses"] = sum(
+                ctx.stats["static_reuses"] for ctx in contexts.values()
+            )
+            stats["block_solves"] = sum(
+                ctx.stats["block_solves"] for ctx in contexts.values()
+            )
+            stats["per_scenario"] = {
+                scenario.name: solver.perf_stats
+                for scenario, solver in zip(self.scenarios, solvers)
+            }
+        return SweepResult(
+            times=runs[0].times,
+            scenarios=self.scenarios,
+            results=results,
+            perf_stats=stats,
+            wall_time=_time.perf_counter() - start,
+        )

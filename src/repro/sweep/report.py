@@ -1,0 +1,124 @@
+"""Eye-diagram and worst-case-corner reporting over a sweep.
+
+The point of running many scenarios is the summary: which bit pattern /
+corner combination closes the eye the most.  This module folds every
+scenario of a :class:`~repro.sweep.result.SweepResult` through
+:mod:`repro.waveforms.eye` and reports per-scenario eye height/width plus
+the worst-case scenario of each metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.experiments.reporting import format_table
+from repro.sweep.result import SweepResult
+
+__all__ = ["EyeReportRow", "SweepEyeReport", "eye_report"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EyeReportRow:
+    """Eye metrics of one scenario."""
+
+    scenario: str
+    bit_pattern: str | None
+    eye_height: float
+    eye_width: float
+    v_min: float
+    v_max: float
+
+
+@dataclasses.dataclass
+class SweepEyeReport:
+    """Per-scenario eye metrics and the worst-case corners of the sweep."""
+
+    node: str
+    bit_time: float
+    rows: List[EyeReportRow]
+
+    @property
+    def worst_height(self) -> EyeReportRow:
+        """Scenario with the smallest vertical eye opening."""
+        return min(self.rows, key=lambda row: row.eye_height)
+
+    @property
+    def worst_width(self) -> EyeReportRow:
+        """Scenario with the smallest horizontal eye opening."""
+        return min(self.rows, key=lambda row: row.eye_width)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (benchmarks persist this)."""
+        return {
+            "node": self.node,
+            "bit_time": self.bit_time,
+            "scenarios": [dataclasses.asdict(row) for row in self.rows],
+            "worst_height_scenario": self.worst_height.scenario,
+            "worst_width_scenario": self.worst_width.scenario,
+        }
+
+    def format(self) -> str:
+        """Plain-text table of the report."""
+        table = format_table(
+            ["scenario", "pattern", "eye height (V)", "eye width (ps)", "min (V)", "max (V)"],
+            [
+                [
+                    row.scenario,
+                    row.bit_pattern or "-",
+                    row.eye_height,
+                    row.eye_width * 1e12,
+                    row.v_min,
+                    row.v_max,
+                ]
+                for row in self.rows
+            ],
+        )
+        worst = (
+            f"worst eye height: {self.worst_height.scenario} "
+            f"({self.worst_height.eye_height:.4g} V)\n"
+            f"worst eye width:  {self.worst_width.scenario} "
+            f"({self.worst_width.eye_width*1e12:.4g} ps)"
+        )
+        return f"{table}\n{worst}"
+
+
+def eye_report(
+    sweep: SweepResult,
+    node: str,
+    bit_time: float,
+    low: float,
+    high: float,
+    t_start: float = 0.0,
+) -> SweepEyeReport:
+    """Fold every scenario of a sweep into eye metrics at one node.
+
+    Parameters
+    ----------
+    sweep:
+        The finished sweep.
+    node:
+        Recorded node whose waveform is folded.
+    bit_time:
+        Eye folding period (the stimulus bit time).
+    low, high:
+        Logic levels used for the height/width thresholds.
+    t_start:
+        First bit boundary; earlier samples (start-up transients) are
+        discarded before folding.
+    """
+    rows = []
+    for scenario in sweep.scenarios:
+        eye = sweep.eye(scenario.name, node, bit_time, t_start=t_start)
+        metrics = eye.metrics(low, high)
+        rows.append(
+            EyeReportRow(
+                scenario=scenario.name,
+                bit_pattern=scenario.bit_pattern,
+                eye_height=metrics["eye_height"],
+                eye_width=metrics["eye_width"],
+                v_min=metrics["v_min"],
+                v_max=metrics["v_max"],
+            )
+        )
+    return SweepEyeReport(node=node, bit_time=bit_time, rows=rows)

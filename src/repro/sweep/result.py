@@ -1,0 +1,79 @@
+"""Result container of a scenario sweep."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+import numpy as np
+
+from repro.circuits.transient import CircuitResult
+from repro.sweep.scenario import Scenario
+from repro.waveforms.eye import EyeDiagram, eye_diagram
+
+__all__ = ["SweepResult"]
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Waveforms and engine counters of one batched sweep.
+
+    Attributes
+    ----------
+    times:
+        Common time axis of every scenario (lockstep sweeps share it).
+    scenarios:
+        The swept scenarios, in run order.
+    results:
+        Mapping scenario name -> :class:`CircuitResult`.
+    perf_stats:
+        Aggregated engine counters: shared factorizations, static reuses,
+        block solves, batched RBF evaluations, and the per-scenario
+        assembler stats.
+    wall_time:
+        Wall-clock duration of the whole sweep in seconds.
+    """
+
+    times: np.ndarray
+    scenarios: List[Scenario]
+    results: Dict[str, CircuitResult]
+    perf_stats: dict = dataclasses.field(default_factory=dict)
+    wall_time: float = 0.0
+
+    @property
+    def n_scenarios(self) -> int:
+        """Number of scenarios in the sweep."""
+        return len(self.scenarios)
+
+    def scenario(self, name: str) -> Scenario:
+        """Scenario lookup by name."""
+        for sc in self.scenarios:
+            if sc.name == name:
+                return sc
+        raise KeyError(f"no scenario named {name!r}; available: {[s.name for s in self.scenarios]}")
+
+    def result(self, name: str) -> CircuitResult:
+        """Per-scenario transient result."""
+        try:
+            return self.results[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"no result for scenario {name!r}; available: {sorted(self.results)}"
+            ) from exc
+
+    def voltage(self, name: str, node: str) -> np.ndarray:
+        """Node-voltage waveform of one scenario."""
+        return self.result(name).voltage(node)
+
+    def eye(
+        self, name: str, node: str, bit_time: float, t_start: float = 0.0
+    ) -> EyeDiagram:
+        """Fold one scenario's node waveform into an eye diagram."""
+        result = self.result(name)
+        return eye_diagram(result.times, result.voltage(node), bit_time, t_start=t_start)
+
+    def amortised_wall_time(self) -> float:
+        """Mean wall-clock cost per scenario of the batched sweep."""
+        if not self.scenarios:
+            return 0.0
+        return self.wall_time / len(self.scenarios)

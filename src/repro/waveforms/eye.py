@@ -62,6 +62,21 @@ class EyeDiagram:
         opening = float(highs.min() - lows.max())
         return max(0.0, opening)
 
+    def metrics(self, low: float, high: float) -> dict:
+        """The standard summary of the folded eye, as one plain dict.
+
+        Keys: ``eye_height``, ``eye_width``, ``v_min``, ``v_max`` and
+        ``n_traces`` — the quantities the sweep reports tabulate per
+        scenario (:mod:`repro.sweep.report`).
+        """
+        return {
+            "eye_height": self.eye_height(low, high),
+            "eye_width": self.eye_width(low, high),
+            "v_min": float(self.traces.min()),
+            "v_max": float(self.traces.max()),
+            "n_traces": self.n_traces,
+        }
+
     def eye_width(self, low: float, high: float) -> float:
         """Horizontal eye opening at the logic midpoint, in seconds.
 

@@ -306,50 +306,52 @@ class BitPattern(Waveform):
             raise ValueError("bit_time must be positive")
         if self.edge_time < 0 or self.edge_time > self.bit_time:
             raise ValueError("edge_time must lie in [0, bit_time]")
+        # Transition table for the scalar fast path: (edge time, level jump)
+        # per bit flip, in increasing time order.  The dataclass is frozen,
+        # hence the object.__setattr__.
+        edges = []
+        prev = self._level(self.pattern[0])
+        for k, bit in enumerate(self.pattern):
+            level = self._level(bit)
+            if k > 0 and level != prev:
+                edges.append((self.t_start + k * self.bit_time, level - prev))
+            prev = level
+        object.__setattr__(self, "_edges", tuple(edges))
+        object.__setattr__(self, "_level0", self._level(self.pattern[0]))
 
     def _level(self, bit: str) -> float:
         return self.high if bit == "1" else self.low
 
     def __call__(self, t):
         if isinstance(t, float) or np.ndim(t) == 0:
-            # Scalar fast path (same arithmetic as the array branch): the
-            # circuit solver evaluates the stimulus once per time step.
+            # Scalar fast path (same arithmetic as the array branch, skipping
+            # transitions that contribute exactly 0): the circuit solver
+            # evaluates the stimulus once per time step per scenario, which
+            # makes this loop hot in wide sweeps.
             tf = float(t)
-            prev = self._level(self.pattern[0])
-            out = prev
-            for k, bit in enumerate(self.pattern):
-                if k == 0:
-                    continue
-                level = self._level(bit)
-                if level != prev:
-                    t_edge = self.t_start + k * self.bit_time
-                    if self.edge_time > 0:
-                        frac = (tf - t_edge) / self.edge_time
-                        frac = 0.0 if frac < 0.0 else (1.0 if frac > 1.0 else frac)
-                    else:
-                        frac = 1.0 if tf >= t_edge else 0.0
-                    out = out + (level - prev) * frac
-                prev = level
-            return float(out)
-        t = np.asarray(t, dtype=float)
-        out = np.full(t.shape if t.ndim else (), self._level(self.pattern[0]), dtype=float)
-        out = np.atleast_1d(out).astype(float)
-        tt = np.atleast_1d(t)
-        prev = self._level(self.pattern[0])
-        for k, bit in enumerate(self.pattern):
-            level = self._level(bit)
-            t_edge = self.t_start + k * self.bit_time
-            if k == 0:
-                out[:] = level
-                prev = level
-                continue
-            if level != prev:
-                if self.edge_time > 0:
-                    frac = np.clip((tt - t_edge) / self.edge_time, 0.0, 1.0)
+            out = self._level0
+            edge_time = self.edge_time
+            for t_edge, dv in self._edges:
+                if edge_time > 0.0:
+                    if tf <= t_edge:
+                        break  # later edges are later in time: all zero
+                    frac = (tf - t_edge) / edge_time
+                    out = out + dv if frac >= 1.0 else out + dv * frac
                 else:
-                    frac = np.where(tt >= t_edge, 1.0, 0.0)
-                out = out + (level - prev) * frac
-            prev = level
+                    if tf < t_edge:
+                        break
+                    out = out + dv
+            return float(out)
+        # Array branch: the same `_edges` transition table as the scalar
+        # path, applied with vectorised ramps.
+        tt = np.atleast_1d(np.asarray(t, dtype=float))
+        out = np.full(tt.shape, self._level0, dtype=float)
+        for t_edge, dv in self._edges:
+            if self.edge_time > 0:
+                frac = np.clip((tt - t_edge) / self.edge_time, 0.0, 1.0)
+            else:
+                frac = np.where(tt >= t_edge, 1.0, 0.0)
+            out = out + dv * frac
         return out
 
     @property

@@ -1,0 +1,125 @@
+"""Disk-cache robustness under concurrent CI runs, and CI pipeline validity."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import devices as dev
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+WORKFLOW = os.path.join(REPO_ROOT, ".github", "workflows", "ci.yml")
+
+
+class TestIdentificationCacheRobustness:
+    def test_corrupt_entry_is_removed_and_reidentified(
+        self, tmp_path, monkeypatch, params, driver_model, receiver_model
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+        monkeypatch.setattr(dev, "_CACHE", {})
+        calls = {"driver": 0, "receiver": 0}
+
+        def fake_driver(p, n_centers, seed):
+            calls["driver"] += 1
+            return driver_model
+
+        def fake_receiver(p, n_centers, seed):
+            calls["receiver"] += 1
+            return receiver_model
+
+        monkeypatch.setattr(dev, "_identify_driver", fake_driver)
+        monkeypatch.setattr(dev, "_identify_receiver", fake_receiver)
+
+        path = dev.identification_cache_path(params, 10, 0)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"driver": {"truncated by a concurr')
+
+        models = dev.identified_reference_macromodels(params, n_centers=10, seed=0)
+        # Corrupt entry fell back to (stubbed) re-identification, did not raise.
+        assert calls == {"driver": 1, "receiver": 1}
+        assert models.source == "identified"
+        # The entry was rewritten with a valid payload.
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert set(payload) == {"driver", "receiver"}
+
+        # A fresh process (cleared memory cache) now loads it from disk.
+        monkeypatch.setattr(dev, "_CACHE", {})
+        again = dev.identified_reference_macromodels(params, n_centers=10, seed=0)
+        assert again.source == "identified (disk cache)"
+        assert calls == {"driver": 1, "receiver": 1}
+
+    def test_corrupt_entry_is_unlinked_on_load_failure(self, tmp_path, params):
+        path = str(tmp_path / "entry.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json at all")
+        assert dev._load_identified_from_disk(path, params) is None
+        assert not os.path.exists(path)
+
+    def test_structurally_wrong_entry_also_recovers(self, tmp_path, params):
+        path = str(tmp_path / "entry.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"driver": {"wrong": "schema"}, "receiver": {}}, handle)
+        assert dev._load_identified_from_disk(path, params) is None
+        assert not os.path.exists(path)
+
+
+class TestCIPipeline:
+    @pytest.fixture(scope="class")
+    def workflow(self):
+        yaml = pytest.importorskip("yaml")
+        with open(WORKFLOW, "r", encoding="utf-8") as handle:
+            parsed = yaml.safe_load(handle)
+        assert isinstance(parsed, dict)
+        return parsed
+
+    def test_workflow_parses_and_has_expected_jobs(self, workflow):
+        assert {"test", "lint", "nightly-full"} <= set(workflow["jobs"])
+
+    def test_quick_tier_excludes_slow_and_spans_two_pythons(self, workflow):
+        test_job = workflow["jobs"]["test"]
+        versions = test_job["strategy"]["matrix"]["python-version"]
+        assert len(versions) == 2
+        commands = " ".join(
+            step.get("run", "") for step in test_job["steps"] if isinstance(step, dict)
+        )
+        assert 'not slow' in commands
+        assert "pip install -e" in commands
+        # pip caching is enabled on the setup-python step
+        setup = next(
+            step for step in test_job["steps"]
+            if "setup-python" in str(step.get("uses", ""))
+        )
+        assert setup["with"]["cache"] == "pip"
+
+    def test_nightly_runs_slow_tier_and_perf_smoke(self, workflow):
+        nightly = workflow["jobs"]["nightly-full"]
+        commands = " ".join(
+            step.get("run", "") for step in nightly["steps"] if isinstance(step, dict)
+        )
+        assert "bench_perf_report.py" in commands and "--min-speedup 1.0" in commands
+        assert "bench_sweep.py" in commands
+        uploads = [step for step in nightly["steps"] if "upload-artifact" in str(step.get("uses", ""))]
+        assert uploads and "BENCH_perf.json" in uploads[0]["with"]["path"]
+
+    def test_triggers_include_pushes_prs_and_schedule(self, workflow):
+        # pyyaml parses the bare `on:` key as boolean True (YAML 1.1).
+        triggers = workflow.get("on", workflow.get(True))
+        assert "pull_request" in triggers
+        assert "push" in triggers
+        assert "schedule" in triggers
+
+    def test_slow_marker_is_registered(self):
+        # The quick tier depends on `-m "not slow"` deselecting, not erroring.
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - py310
+            pytest.skip("tomllib unavailable")
+        with open(os.path.join(REPO_ROOT, "pyproject.toml"), "rb") as handle:
+            pyproject = tomllib.load(handle)
+        markers = pyproject["tool"]["pytest"]["ini_options"]["markers"]
+        assert any(m.startswith("slow") for m in markers)

@@ -50,11 +50,11 @@ class TestLinearElements:
         assert res.voltage("out")[-1] == pytest.approx(1.0, abs=0.01)
 
     def test_rl_current_rise(self):
-        r, l = 50.0, 1e-9
+        r, ind = 50.0, 1e-9
         ckt = Circuit()
         ckt.add(VoltageSource("v1", "in", GROUND, 1.0))
         ckt.add(Resistor("r1", "in", "mid", r))
-        ckt.add(Inductor("l1", "mid", GROUND, l))
+        ckt.add(Inductor("l1", "mid", GROUND, ind))
         res = _run(ckt, 1e-12, 1e-9)
         i_final = res.branch_current("l1")[-1]
         assert i_final == pytest.approx(1.0 / r, rel=0.02)

@@ -5,7 +5,6 @@ import pytest
 
 from repro.macromodel.driver import DriverMacromodel, LogicStimulus, SwitchingWeights
 from repro.macromodel.library import (
-    ReferenceDeviceParameters,
     driver_pulldown_current,
     driver_pullup_current,
 )

@@ -1,0 +1,310 @@
+"""Equivalence and bookkeeping tests of the batched scenario-sweep subsystem.
+
+The contract of :mod:`repro.sweep` is that batching changes *where* the
+arithmetic happens, never *what* is computed: batched sweeps must match
+independent per-scenario transients to 1e-12 relative (they are in fact
+bit-identical on this machine), while sharing one static assembly — and,
+for linear circuits, exactly one LU factorization — across the batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.transient import TransientOptions
+from repro.macromodel.library import make_reference_driver_macromodel
+from repro.sweep import (
+    Scenario,
+    eye_report,
+    linear_link_sweep,
+    rbf_link_sweep,
+)
+
+REL_TOL = 1e-12
+
+
+def _assert_sweeps_match(batched, sequential, nodes=("near", "far")):
+    for scenario in batched.scenarios:
+        for node in nodes:
+            a = batched.voltage(scenario.name, node)
+            b = sequential.voltage(scenario.name, node)
+            scale = max(np.max(np.abs(b)), 1e-30)
+            err = np.max(np.abs(a - b)) / scale
+            assert err <= REL_TOL, f"{scenario.name}/{node}: rel err {err:.3e}"
+
+
+def _pattern_scenarios(n=8):
+    return [
+        Scenario(
+            name=f"p{k}",
+            bit_pattern=format(k, "03b"),
+            drive_strength=1.0 + 0.05 * k,
+        )
+        for k in range(n)
+    ]
+
+
+class TestLinearSweep:
+    def test_matches_sequential_with_one_factorization(self):
+        sweep = linear_link_sweep(_pattern_scenarios(8), dt=1e-11, duration=4e-9)
+        batched = sweep.run()
+        sequential = sweep.run_sequential()
+
+        _assert_sweeps_match(batched, sequential)
+        stats = batched.perf_stats
+        # One static group, factored exactly once for the whole batch.
+        assert stats["static_groups"] == 1
+        assert stats["shared_factorizations"] == 1
+        assert stats["static_reuses"] == 7
+        # Every scenario is linear, so every step is one block solve.
+        assert len(stats["direct_linear_scenarios"]) == 8
+        assert stats["block_solves"] == batched.times.size - 1
+
+    def test_corner_scenarios_split_static_groups(self):
+        scenarios = [
+            Scenario(name="nom", bit_pattern="010"),
+            Scenario(name="nom2", bit_pattern="011"),
+            Scenario(name="weak", bit_pattern="010", corner={"load_resistance": 150.0}),
+            Scenario(name="weak2", bit_pattern="011", corner={"load_resistance": 150.0}),
+        ]
+        sweep = linear_link_sweep(scenarios, dt=1e-11, duration=3e-9)
+        batched = sweep.run()
+        sequential = sweep.run_sequential()
+
+        _assert_sweeps_match(batched, sequential)
+        stats = batched.perf_stats
+        assert stats["static_groups"] == 2
+        assert stats["shared_factorizations"] == 2
+        assert stats["static_reuses"] == 2
+        # The corner actually changes the answer.
+        nom = batched.voltage("nom", "far")
+        weak = batched.voltage("weak", "far")
+        assert np.max(np.abs(nom - weak)) > 1e-3
+
+    def test_reference_path_lockstep_matches_sequential(self):
+        options = TransientOptions(fast=False)
+        sweep = linear_link_sweep(
+            _pattern_scenarios(3), dt=2e-11, duration=2e-9, options=options
+        )
+        batched = sweep.run()
+        sequential = sweep.run_sequential()
+        _assert_sweeps_match(batched, sequential)
+        assert batched.perf_stats["mode"] == "reference"
+
+
+class TestRBFSweep:
+    def test_matches_sequential_with_batched_basis_evals(
+        self, params, driver_model, receiver_model
+    ):
+        scenarios = [
+            Scenario(name=f"r{k}", bit_pattern=pattern)
+            for k, pattern in enumerate(["010", "0110", "0101", "0011"])
+        ]
+        sweep = rbf_link_sweep(
+            scenarios, {None: (driver_model, receiver_model)}, dt=1e-11, duration=3e-9
+        )
+        batched = sweep.run()
+        sequential = sweep.run_sequential()
+
+        _assert_sweeps_match(batched, sequential)
+        stats = batched.perf_stats
+        assert stats["batched_port_groups"] == 2  # driver group + receiver group
+        assert stats["batched_rbf_evals"] > 0
+        assert stats["static_reuses"] == 3
+
+    def test_device_variants_batch_within_their_group(
+        self, params, driver_model, receiver_model
+    ):
+        variant = make_reference_driver_macromodel(params, n_centers=40, seed=7)
+        scenarios = [
+            Scenario(name="a0", bit_pattern="010"),
+            Scenario(name="a1", bit_pattern="011"),
+            Scenario(name="b0", bit_pattern="010", device="variant"),
+            Scenario(name="b1", bit_pattern="011", device="variant"),
+        ]
+        devices = {
+            None: (driver_model, receiver_model),
+            "variant": (variant, receiver_model),
+        }
+        sweep = rbf_link_sweep(scenarios, devices, dt=1e-11, duration=2e-9)
+        batched = sweep.run()
+        sequential = sweep.run_sequential()
+
+        _assert_sweeps_match(batched, sequential)
+        # Two driver families + one shared receiver family.
+        assert batched.perf_stats["batched_port_groups"] == 3
+        # The variant device actually changes the waveform (it approximates
+        # the same physical driver, so the difference is small but real).
+        a = batched.voltage("a0", "near")
+        b = batched.voltage("b0", "near")
+        assert np.max(np.abs(a - b)) > 1e-5
+
+    def test_rc_corner_scenarios_mix_with_receiver_scenarios(
+        self, params, driver_model, receiver_model
+    ):
+        scenarios = [
+            Scenario(name="rx", bit_pattern="010"),
+            Scenario(name="rx2", bit_pattern="001"),
+            Scenario(name="rc", bit_pattern="010", corner={"load_resistance": 500.0}),
+        ]
+        sweep = rbf_link_sweep(
+            scenarios, {None: (driver_model, receiver_model)}, dt=1e-11, duration=2e-9
+        )
+        batched = sweep.run()
+        sequential = sweep.run_sequential()
+        _assert_sweeps_match(batched, sequential)
+        assert batched.perf_stats["static_groups"] == 2
+
+
+class TestMixedStaticGroup:
+    def test_linear_members_of_mixed_group_share_one_factorization(self):
+        """Linear scenarios sharing statics with a nonlinear one still share the LU."""
+        from repro.circuits.diode import Diode
+        from repro.sweep.engine import CircuitSweep
+        from repro.sweep.links import LinearLinkSpec
+
+        spec = LinearLinkSpec()
+
+        def build(scenario):
+            circuit = spec.build(scenario)
+            if scenario.device == "clamped":
+                # A diode is a dynamic element: same static stamps, nonlinear run.
+                circuit.add(Diode("dclamp", "far", "0"))
+            return circuit
+
+        scenarios = [
+            Scenario(name="lin0", bit_pattern="010", static_group="g"),
+            Scenario(name="lin1", bit_pattern="011", static_group="g"),
+            Scenario(name="clamp", bit_pattern="010", device="clamped", static_group="g"),
+        ]
+        sweep = CircuitSweep(
+            build, scenarios, dt=1e-11, duration=2e-9,
+            record_nodes=["near", "far"], record_branches=[],
+        )
+        batched = sweep.run()
+        sequential = sweep.run_sequential()
+        _assert_sweeps_match(batched, sequential)
+
+        stats = batched.perf_stats
+        # Mixed group: no direct block-solve path, but still one shared
+        # static assembly and exactly one LU factorization across the two
+        # linear members (the second picks the factors up lazily).
+        assert stats["static_groups"] == 1
+        assert stats["direct_linear_scenarios"] == []
+        assert stats["shared_factorizations"] == 1
+        per_scenario = stats["per_scenario"]
+        linear_factorizations = sum(
+            per_scenario[name]["factorizations"] for name in ("lin0", "lin1")
+        )
+        assert linear_factorizations == 1
+        assert per_scenario["lin0"]["linear_only"] is True
+        assert per_scenario["clamp"]["linear_only"] is False
+
+
+class TestSweepResultAndReport:
+    def test_eye_report_identifies_worst_corner(self):
+        scenarios = [
+            Scenario(name="strong", bit_pattern="0101101", drive_strength=1.0),
+            Scenario(name="weak", bit_pattern="0101101", drive_strength=0.45),
+        ]
+        sweep = linear_link_sweep(scenarios, dt=1e-11, duration=16e-9)
+        result = sweep.run()
+
+        report = eye_report(result, "far", 2e-9, low=0.0, high=1.8, t_start=2e-9)
+        assert {row.scenario for row in report.rows} == {"strong", "weak"}
+        assert report.worst_height.scenario == "weak"
+        strong = next(r for r in report.rows if r.scenario == "strong")
+        weak = next(r for r in report.rows if r.scenario == "weak")
+        assert strong.eye_height > weak.eye_height >= 0.0
+
+        payload = report.to_dict()
+        assert payload["worst_height_scenario"] == "weak"
+        text = report.format()
+        assert "worst eye height" in text and "weak" in text
+
+    def test_result_accessors_and_errors(self):
+        scenarios = [Scenario(name="only", bit_pattern="010")]
+        sweep = linear_link_sweep(scenarios, dt=1e-11, duration=2e-9)
+        result = sweep.run()
+        assert result.n_scenarios == 1
+        assert result.scenario("only").bit_pattern == "010"
+        assert result.voltage("only", "far").shape == result.times.shape
+        assert result.amortised_wall_time() <= result.wall_time + 1e-12
+        with pytest.raises(KeyError):
+            result.result("missing")
+        with pytest.raises(KeyError):
+            result.scenario("missing")
+
+    def test_duplicate_scenario_names_rejected(self):
+        scenarios = [Scenario(name="x"), Scenario(name="x")]
+        with pytest.raises(ValueError, match="unique"):
+            linear_link_sweep(scenarios)
+
+    def test_eye_feeds_waveforms_eye(self):
+        scenarios = [Scenario(name="s", bit_pattern="01010101")]
+        sweep = linear_link_sweep(scenarios, dt=1e-11, duration=16e-9)
+        result = sweep.run()
+        eye = result.eye("s", "far", 2e-9, t_start=2e-9)
+        assert eye.n_traces >= 6
+        assert eye.bit_time == pytest.approx(2e-9, rel=1e-9)
+
+
+class TestBatchedFDTD3DPorts:
+    """Port batching in the 3-D solver (same lockstep machinery, field side)."""
+
+    @staticmethod
+    def _run(batch_ports, driver_model, receiver_model):
+        from repro.core.ports import MacromodelTermination, ResistiveSourceTermination
+        from repro.fdtd.grid import YeeGrid
+        from repro.fdtd.lumped import LumpedElementSite
+        from repro.fdtd.solver3d import FDTD3DSolver
+        from repro.macromodel.driver import LogicStimulus
+        from repro.waveforms.signals import TrapezoidalPulse
+
+        grid = YeeGrid(nx=10, ny=10, nz=8, dx=1e-3, dy=1e-3, dz=1e-3)
+        solver = FDTD3DSolver(grid, batch_ports=batch_ports)
+        dt = solver.dt
+        bound = driver_model.bound(LogicStimulus.from_pattern("01", 1e-9))
+        source = TrapezoidalPulse(
+            low=0.0, high=1.5, t_start=50 * dt, rise_time=100 * dt,
+            width=300 * dt, fall_time=100 * dt,
+        )
+        solver.add_lumped_element(
+            LumpedElementSite("src", "z", (3, 3, 3), ResistiveSourceTermination(50.0, source))
+        )
+        solver.add_lumped_element(
+            LumpedElementSite("rx1", "z", (6, 3, 3), MacromodelTermination.from_model(receiver_model, dt))
+        )
+        solver.add_lumped_element(
+            LumpedElementSite(
+                "rx2", "z", (6, 6, 3), MacromodelTermination.from_model(receiver_model, dt),
+                flip=True,
+            )
+        )
+        solver.add_lumped_element(
+            LumpedElementSite("drv", "z", (3, 6, 3), MacromodelTermination.from_model(bound, dt))
+        )
+        solver.run(n_steps=200)
+        return solver
+
+    def test_batched_ports_match_sequential(self, driver_model, receiver_model):
+        batched = self._run(True, driver_model, receiver_model)
+        solo = self._run(False, driver_model, receiver_model)
+
+        # The two receiver ports share a model (one flipped): one group.
+        assert len(batched._site_groups) == 1
+        assert len(batched._site_groups[0][0]) == 2
+        assert len(solo._site_groups) == 0
+
+        for site_b, site_s in zip(batched.sites, solo.sites):
+            scale = max(np.max(np.abs(site_s.voltages)), 1e-30)
+            err = np.max(np.abs(site_b.voltages - site_s.voltages)) / scale
+            assert err <= REL_TOL, f"site {site_b.name}: rel err {err:.3e}"
+            err_i = np.max(np.abs(site_b.currents - site_s.currents)) / max(
+                np.max(np.abs(site_s.currents)), 1e-30
+            )
+            assert err_i <= REL_TOL, f"site {site_b.name} current: rel err {err_i:.3e}"
+        assert (
+            batched.newton_stats.total_iterations == solo.newton_stats.total_iterations
+        )
