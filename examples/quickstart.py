@@ -1,62 +1,58 @@
 """Quickstart: a switching CMOS driver, a transmission line and an RC load.
 
-This is the smallest end-to-end use of the library: build the reference
-1.8 V driver macromodel, resample it onto the solver time step, terminate a
-131 ohm / 0.4 ns line (the paper's validation line) with the 1 pF // 500 ohm
-load of Figure 4, and run the 1-D FDTD hybrid solver.
+This is the smallest end-to-end use of the library, expressed through the
+unified job API: one declarative :class:`repro.api.SimulationSpec` (the
+reference 1.8 V driver macromodel, the paper's 131 ohm / 0.4 ns validation
+line, the 1 pF // 500 ohm load of Figure 4, solved with the 1-D FDTD
+hybrid) executed with :func:`repro.api.run`.  The same spec serialises to
+JSON — see examples/jobs/fdtd1d_link.json — and runs identically from the
+command line with `python -m repro run`.
 
 Run with:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import (
-    LogicStimulus,
-    MacromodelTermination,
-    ParallelRCTermination,
-    make_reference_driver_macromodel,
-)
-from repro.fdtd.solver1d import FDTD1DLine
+from repro.api import EngineOptions, LinkSpec, SimulationSpec, StimulusSpec, run
+from repro.macromodel.library import ReferenceDeviceParameters
 from repro.waveforms.analysis import overshoot, settling_time
 
-# 1. The driver macromodel: identified once, reused everywhere.  Here we use
-#    the analytic reference model shipped with the library and bind it to the
-#    paper's '010' pattern with a 2 ns bit time.
-driver = make_reference_driver_macromodel()
-driver = driver.bound(LogicStimulus.from_pattern("010", bit_time=2e-9))
+# 1. The job, as data: the driver macromodel comes from the device library
+#    (identified once, reused everywhere), the interconnect is the paper's
+#    effective line, the far-end load is the Figure 4 RC.
+spec = SimulationSpec(
+    kind="fdtd1d",
+    duration=5e-9,
+    stimulus=StimulusSpec(bit_pattern="010", bit_time=2e-9),
+    link=LinkSpec(z0=131.0, delay=0.4e-9, load="rc",
+                  load_resistance=500.0, load_capacitance=1e-12),
+    engine=EngineOptions(n_cells=100),
+)
 
-# 2. The interconnect: the paper's effective line constants.
-z0, delay = 131.0, 0.4e-9
-
-# 3. The solver time step must not exceed the macromodel sampling time Ts
+# 2. The solver time step must not exceed the macromodel sampling time Ts
 #    (the tau <= 1 criterion of the paper); the 1-D FDTD step is delay/n_cells.
-n_cells = 100
-dt = delay / n_cells
-print(f"solver dt = {dt*1e12:.1f} ps, macromodel Ts = {driver.sampling_time*1e12:.0f} ps, "
-      f"tau = {dt/driver.sampling_time:.2f}")
+dt = spec.link.delay / spec.engine.n_cells
+ts = ReferenceDeviceParameters().sampling_time
+print(f"solver dt = {dt*1e12:.1f} ps, macromodel Ts = {ts*1e12:.0f} ps, "
+      f"tau = {dt/ts:.2f}")
 
-# 4. Terminations: the driver macromodel at the near end, the Figure 4 RC
-#    load at the far end.
-near = MacromodelTermination.from_model(driver, dt, v0=0.0)
-far = ParallelRCTermination(resistance=500.0, capacitance=1e-12, dt=dt)
+# 3. Run.  (`python -m repro run examples/jobs/fdtd1d_link.json` is the
+#    command-line equivalent of these two lines.)
+result = run(spec)
 
-# 5. Run.
-line = FDTD1DLine(z0, delay, near, far, n_cells=n_cells)
-result = line.run(duration=5e-9)
-
-# 6. Inspect the far-end waveform the way the paper's Figure 4 does.
+# 4. Inspect the far-end waveform the way the paper's Figure 4 does.
 times = result.times
-far_end = result.voltage("far_end")
+far_end = result.waveform("far_end")
 print(f"\nfar-end voltage: min {far_end.min():+.2f} V, max {far_end.max():+.2f} V")
 print(f"overshoot above the 1.8 V rail: {overshoot(far_end, 1.8):.2f} V")
 mask = times > 2e-9
 print(f"settling time after the rising edge: "
       f"{settling_time(times[mask], far_end[mask], 1.8, 0.09)*1e9:.2f} ns")
-print(f"Newton iterations per port solve: mean {result.newton_stats.mean_iterations:.2f}, "
-      f"max {result.newton_stats.max_iterations}")
+print(f"Newton iterations per port solve: mean {result.meta['newton_mean_iterations']:.2f}, "
+      f"max {result.meta['newton_max_iterations']}")
 
 samples = np.linspace(0, 5e-9, 11)
 print("\n t [ns]   near [V]   far [V]")
 for t in samples:
     k = int(np.searchsorted(times, t, side="right")) - 1
-    print(f"  {t*1e9:4.1f}    {result.voltage('near_end')[max(k,0)]:+6.2f}    {far_end[max(k,0)]:+6.2f}")
+    print(f"  {t*1e9:4.1f}    {result.waveform('near_end')[max(k,0)]:+6.2f}    {far_end[max(k,0)]:+6.2f}")

@@ -1,12 +1,14 @@
 """Signal-integrity analysis of the validation line with three engines.
 
-Reproduces a reduced version of the paper's Figure 4 workflow end to end:
+Reproduces a reduced version of the paper's Figure 4 workflow end to end,
+driven through the unified job API:
 
 1. measure the effective characteristic impedance and delay of the
    discretised 3-D structure (the paper quotes Zc ~ 131 ohm, TD ~ 0.4 ns);
-2. run the same driver-line-RC-load link with the SPICE-class engine
+2. describe the same driver-line-RC-load link as three declarative
+   :class:`repro.api.SimulationSpec` jobs — the SPICE-class engine
    (RBF macromodels + ideal line), the 1-D FDTD hybrid and the 3-D FDTD
-   hybrid;
+   hybrid — and execute them with :func:`repro.api.run`;
 3. report the cross-engine agreement and standard SI metrics.
 
 Run with:  python examples/signal_integrity_tline.py   (about a minute)
@@ -14,28 +16,20 @@ Run with:  python examples/signal_integrity_tline.py   (about a minute)
 
 import numpy as np
 
-from repro.circuits.testbenches import run_link_rbf
-from repro.core.cosim import LinkDescription
-from repro.experiments.devices import ReferenceMacromodels
-from repro.experiments.fig4_rc_load import run_fdtd1d_link, run_fdtd3d_link
-from repro.experiments.reporting import engine_agreement, format_table, sample_series
-from repro.macromodel.library import (
-    ReferenceDeviceParameters,
-    make_reference_driver_macromodel,
-    make_reference_receiver_macromodel,
+from repro.api import (
+    EngineOptions,
+    LinkSpec,
+    SimulationSpec,
+    StimulusSpec,
+    StructureSpec,
+    resolve_models,
+    run,
 )
+from repro.experiments.reporting import engine_agreement, format_table, sample_series
 from repro.structures.validation_line import ValidationLineStructure, estimate_line_parameters
 from repro.waveforms.analysis import overshoot, undershoot
 
 SCALE = 0.5  # half-length structure; set to 1.0 for the paper's full line
-
-params = ReferenceDeviceParameters()
-models = ReferenceMacromodels(
-    driver=make_reference_driver_macromodel(params),
-    receiver=make_reference_receiver_macromodel(params),
-    params=params,
-    source="library",
-)
 
 # -- 1. the structure and its effective line constants ------------------------
 structure = ValidationLineStructure.scaled(SCALE)
@@ -45,17 +39,30 @@ print(f"structure: {structure.nx} x {structure.ny} x {structure.nz} cells "
 print(f"effective line constants: Zc = {z_c:.1f} ohm, TD = {t_d*1e12:.0f} ps "
       f"(paper, full length: ~131 ohm, ~400 ps)")
 
-link = LinkDescription(load="rc", z0=z_c, delay=t_d, duration=5e-9)
-
-# -- 2. three engines ----------------------------------------------------------
-results = {
-    "spice-rbf": run_link_rbf(link, models.driver, models.receiver, dt=5e-12, params=params),
-    "fdtd1d-rbf": run_fdtd1d_link(models, link, z_c, t_d),
-    "fdtd3d-rbf": run_fdtd3d_link(structure, models, link),
+# -- 2. three engines, one link description -----------------------------------
+stimulus = StimulusSpec(bit_pattern="010", bit_time=2e-9)
+link = LinkSpec(z0=z_c, delay=t_d, load="rc")
+specs = {
+    "spice-rbf": SimulationSpec(
+        kind="circuit", duration=5e-9, stimulus=stimulus, link=link,
+        engine=EngineOptions(dt=5e-12),
+    ),
+    "fdtd1d-rbf": SimulationSpec(
+        kind="fdtd1d", duration=5e-9, stimulus=stimulus, link=link,
+        engine=EngineOptions(n_cells=100),
+    ),
+    "fdtd3d-rbf": SimulationSpec(
+        kind="fdtd3d", duration=5e-9, stimulus=stimulus, link=link,
+        structure=StructureSpec(scale=SCALE),
+    ),
 }
+# The three jobs share one device pair; resolve it once and inject it so the
+# library models are built a single time.
+models = resolve_models(specs["spice-rbf"])
+results = {name: run(spec, models=models) for name, spec in specs.items()}
 
 # -- 3. report ------------------------------------------------------------------
-sample_times = np.linspace(0, link.duration, 11)
+sample_times = np.linspace(0, 5e-9, 11)
 rows = [
     [name] + [f"{v:+.2f}" for v in sample_series(res, "far_end", sample_times)]
     for name, res in results.items()

@@ -21,8 +21,24 @@ The package is organised by subsystem:
 * :mod:`repro.experiments` — one module per figure, regenerating the
   paper's curves and comparison metrics.
 
+* :mod:`repro.api` — the unified job front door: declarative
+  :class:`~repro.api.spec.SimulationSpec` jobs (JSON-serialisable,
+  content-hashed), the engine registry, the uniform
+  :class:`~repro.api.result.Result`, and the ``python -m repro`` CLI.
+
 Quickstart
 ----------
+Every engine is reachable through the declarative job API — a spec is
+plain data (JSON-serialisable, hashable, shippable to workers):
+
+>>> from repro.api import SimulationSpec, run
+>>> spec = SimulationSpec(kind="fdtd1d")   # the paper's Fig. 4 link, RC load
+>>> result = run(spec)
+>>> result.waveform("far_end").shape
+(1250,)
+
+or, driving the solver objects directly:
+
 >>> from repro.macromodel import make_reference_driver_macromodel
 >>> from repro.macromodel.driver import LogicStimulus
 >>> from repro.core.ports import MacromodelTermination, ParallelRCTermination
@@ -56,9 +72,29 @@ from repro.macromodel import (
 )
 from repro.macromodel.library import ReferenceDeviceParameters
 
-__version__ = "1.0.0"
+# Single-sourced from pyproject.toml via the installed package metadata;
+# the fallback covers source-tree (PYTHONPATH=src) runs without metadata.
+try:
+    from importlib.metadata import PackageNotFoundError as _PkgNotFound
+    from importlib.metadata import version as _pkg_version
+
+    __version__ = _pkg_version("repro-smc03")
+except _PkgNotFound:
+    __version__ = "0.2.0"
+
+
+def __getattr__(name: str):
+    # Lazy submodule export: `repro.api` pulls in every engine layer, so it
+    # is imported on first attribute access instead of at package import.
+    if name == "api":
+        import repro.api as api
+
+        return api
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 
 __all__ = [
+    "api",
     "LinkDescription",
     "SimulationResult",
     "NewtonOptions",

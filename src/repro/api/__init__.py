@@ -1,0 +1,136 @@
+"""Unified job API: declarative specs, an engine registry, uniform results.
+
+The paper's pitch is that RBF macromodels make link simulation cheap
+enough to run *at scale*.  This package is the scale-facing front door:
+instead of four bespoke constructors (circuit
+:class:`~repro.circuits.transient.TransientSolver`,
+:class:`~repro.fdtd.solver1d.FDTD1DLine`,
+:class:`~repro.fdtd.solver3d.FDTD3DSolver`,
+:class:`~repro.sweep.engine.CircuitSweep`), a run is described once as
+*data* — a :class:`~repro.api.spec.SimulationSpec` that can be validated,
+hashed for caching, stored as JSON, shipped to a worker, and replayed —
+and executed through one call:
+
+>>> from repro.api import SimulationSpec, run
+>>> spec = SimulationSpec(kind="fdtd1d")        # the paper's Fig. 4 link
+>>> result = run(spec)
+>>> result.waveform("far_end").shape == result.times.shape
+True
+
+The same spec serialises to a JSON job file runnable from the shell::
+
+    python -m repro run job.json
+    python -m repro describe job.json
+    python -m repro list-engines
+
+Layers
+------
+* :mod:`repro.api.spec` — the frozen, strictly-validated spec dataclasses
+  with JSON round-trip and a stable content hash;
+* :mod:`repro.api.engines` — the ``@register_engine`` registry mapping
+  spec kinds onto today's solvers (new backends plug in here);
+* :mod:`repro.api.result` — the uniform :class:`~repro.api.result.Result`
+  container every engine returns;
+* :mod:`repro.api.cli` — the ``python -m repro`` command-line front end.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.api.engines import (
+    EngineInfo,
+    get_engine,
+    list_engines,
+    register_engine,
+    resolve_models,
+)
+from repro.api.result import Result
+from repro.api.spec import (
+    ENGINE_KINDS,
+    FORMAT_VERSION,
+    DeviceSpec,
+    EngineOptions,
+    LinkSpec,
+    ScenarioSpec,
+    SimulationSpec,
+    StimulusSpec,
+    StructureSpec,
+    load_spec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "SimulationSpec",
+    "StimulusSpec",
+    "DeviceSpec",
+    "LinkSpec",
+    "StructureSpec",
+    "ScenarioSpec",
+    "EngineOptions",
+    "spec_from_dict",
+    "load_spec",
+    "ENGINE_KINDS",
+    "FORMAT_VERSION",
+    "Result",
+    "EngineInfo",
+    "register_engine",
+    "get_engine",
+    "list_engines",
+    "resolve_models",
+    "run",
+    "run_file",
+]
+
+#: engine-option flags reserved for ROADMAP backends (spec-addressable now,
+#: rejected at run time until the backend lands)
+_RESERVED_OPTIONS = {
+    "sparse_mna": "sparse MNA assembly for large netlists",
+    "batch_prepare": "cross-scenario batching of SeparableBlocks.prepare",
+}
+
+
+def run(spec, *, models=None) -> Result:
+    """Execute a simulation spec through its registered engine.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`~repro.api.spec.SimulationSpec`, or the dict form
+        produced by :meth:`~repro.api.spec.SimulationSpec.to_dict` (it is
+        validated first).
+    models:
+        Optional pre-built
+        :class:`~repro.experiments.devices.ReferenceMacromodels` override.
+        Workers resolve the devices from ``spec.devices``; in-process
+        callers that already hold identified models may inject them here
+        (the spec remains the source of truth for everything else).
+
+    Returns
+    -------
+    Result
+        The uniform result container; the engine's native result object
+        stays available as ``Result.raw``.
+    """
+    if not isinstance(spec, SimulationSpec):
+        spec = spec_from_dict(spec)
+    for flag, summary in _RESERVED_OPTIONS.items():
+        if getattr(spec.engine, flag):
+            raise NotImplementedError(
+                f"engine.{flag} ({summary}) is a reserved option — see the "
+                "ROADMAP open items; no registered backend implements it yet"
+            )
+    engine = get_engine(spec.kind)
+    if spec.engine.fast is not None:
+        from repro import perf
+
+        fast_ctx = perf.use_fastpath(spec.engine.fast)
+    else:
+        fast_ctx = contextlib.nullcontext()
+    with fast_ctx:
+        return engine.runner(spec, models=models)
+
+
+def run_file(path: str, *, models=None) -> Result:
+    """Load a JSON job file and execute it (see :func:`run`)."""
+    return run(load_spec(path), models=models)

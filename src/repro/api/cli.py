@@ -1,0 +1,132 @@
+"""Command-line front end of the job API: ``python -m repro``.
+
+Three subcommands make a JSON job file a first-class artefact:
+
+* ``run job.json``      — validate, execute, print a summary (optionally
+  write the full result as JSON or NPZ with ``--output``);
+* ``describe job.json`` — validate only: normalised spec, content hash,
+  engine summary, estimated step count;
+* ``list-engines``      — the registered engine kinds.
+
+``--quick`` runs a capped smoke variant of the job (shorter span, smallest
+3-D structure) — what the CI ``cli-smoke`` step exercises.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run declarative simulation jobs (see repro.api).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro-smc03 {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="validate and execute a JSON job file")
+    p_run.add_argument("job", help="path to the JSON job file")
+    p_run.add_argument(
+        "--quick", action="store_true",
+        help="run a capped smoke variant of the job (CI-friendly)",
+    )
+    p_run.add_argument(
+        "--output", "-o", metavar="PATH", default=None,
+        help="write the full result (.json or .npz by extension)",
+    )
+
+    p_desc = sub.add_parser("describe", help="validate a job file and print its normalised form")
+    p_desc.add_argument("job", help="path to the JSON job file")
+
+    sub.add_parser("list-engines", help="list the registered engine kinds")
+    return parser
+
+
+def _cmd_list_engines() -> int:
+    from repro.api import list_engines
+
+    for info in list_engines():
+        print(f"{info.kind:8s} — {info.summary}")
+    return 0
+
+
+def _cmd_describe(path: str) -> int:
+    from repro.api import get_engine, load_spec
+
+    spec = load_spec(path)
+    info = get_engine(spec.kind)
+    n_steps = int(round(spec.duration / spec.resolved_dt()))
+    print(f"job:          {path}")
+    print(f"kind:         {spec.kind} — {info.summary}")
+    if spec.label:
+        print(f"label:        {spec.label}")
+    print(f"content hash: {spec.content_hash()}")
+    print(f"duration:     {spec.duration:.3e} s  (~{n_steps} steps at dt = "
+          f"{spec.resolved_dt():.3e} s)")
+    if spec.kind == "sweep":
+        print(f"scenarios:    {len(spec.scenarios)} "
+              f"({spec.engine.sweep_family} family)")
+    print("normalised spec:")
+    print(spec.to_json())
+    return 0
+
+
+def _cmd_run(path: str, quick: bool, output: str | None) -> int:
+    from repro.api import load_spec, run
+
+    spec = load_spec(path)
+    if quick:
+        spec = spec.quickened()
+    print(f"running {spec.kind} job {path}"
+          + (f" [{spec.label}]" if spec.label else "")
+          + (" (quick smoke variant)" if quick else ""))
+    print(f"spec hash: {spec.content_hash()}")
+    result = run(spec)
+    names = result.names()
+    print(f"engine:    {result.engine}")
+    print(f"samples:   {result.times.size} x {len(names)} waveforms "
+          f"(dt = {result.dt:.3e} s)")
+    for name in names:
+        wave = result.waveform(name)
+        print(f"  {name}: min {wave.min():+.4g}  max {wave.max():+.4g}")
+    interesting = (
+        "shared_factorizations", "static_reuses", "batched_rbf_evals", "block_solves",
+    )
+    stats = {k: result.perf_stats[k] for k in interesting if k in result.perf_stats}
+    if stats:
+        print("perf:      " + ", ".join(f"{k}={v}" for k, v in stats.items()))
+    if output:
+        if output.endswith(".npz"):
+            result.save_npz(output)
+        else:
+            result.save_json(output)
+        print(f"wrote result to {output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro`` (returns the exit status)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list-engines":
+            return _cmd_list_engines()
+        if args.command == "describe":
+            return _cmd_describe(args.job)
+        if args.command == "run":
+            return _cmd_run(args.job, args.quick, args.output)
+    except (ValueError, KeyError, NotImplementedError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

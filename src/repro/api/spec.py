@@ -1,0 +1,696 @@
+"""Declarative simulation specs: jobs that exist as *data*.
+
+The ROADMAP north star — serve heavy traffic, shard/queue/cache work
+across backends — requires a run to be describable without holding any
+live solver object: a :class:`SimulationSpec` is a frozen, validated,
+JSON-serialisable description of one job (which engine kind, which link,
+which devices, which stimulus or scenario batch, which engine options)
+that can be hashed for result caching, shipped to a worker process, and
+replayed bit-identically.
+
+The spec layer deliberately reuses the existing on-disk contracts instead
+of inventing new ones: embedded device models use the JSON schema of
+:mod:`repro.macromodel.serialization`, sweep scenarios mirror
+:class:`repro.sweep.scenario.Scenario`, and the link block mirrors
+:class:`repro.core.cosim.LinkDescription`.
+
+Round-trip contract
+-------------------
+``spec_from_dict(spec.to_dict()) == spec`` holds exactly for every valid
+spec (numbers survive JSON because Python round-trips floats through
+``repr``), and :meth:`SimulationSpec.content_hash` is a stable SHA-256 of
+the canonical JSON encoding — equal across processes, machines and dict
+orderings, so it can key a shared result cache.
+
+``from_dict`` validates *strictly*: unknown keys, unknown kinds and
+malformed blocks raise ``ValueError`` with the offending path, in the
+spirit of versioned, normalised request contracts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Mapping, Optional, Tuple
+
+__all__ = [
+    "FORMAT_VERSION",
+    "ENGINE_KINDS",
+    "StimulusSpec",
+    "DeviceSpec",
+    "LinkSpec",
+    "StructureSpec",
+    "ScenarioSpec",
+    "EngineOptions",
+    "SimulationSpec",
+    "spec_from_dict",
+    "load_spec",
+]
+
+#: bump when the spec schema changes incompatibly
+FORMAT_VERSION = 1
+
+#: the engine kinds a spec may request (see :mod:`repro.api.engines`)
+ENGINE_KINDS = ("circuit", "fdtd1d", "fdtd3d", "sweep")
+
+#: default time step of the SPICE-class engines and sweeps when
+#: ``engine.dt`` is null — the single source for the adapters
+#: (:mod:`repro.api.engines`) and the estimates of :meth:`SimulationSpec.resolved_dt`
+DEFAULT_DT = 5e-12
+
+
+# ---------------------------------------------------------------------------
+# strict-dict helpers
+# ---------------------------------------------------------------------------
+
+def _require_mapping(data: Any, where: str) -> Mapping[str, Any]:
+    if not isinstance(data, Mapping):
+        raise ValueError(f"{where}: expected a JSON object, got {type(data).__name__}")
+    return data
+
+
+def _reject_unknown(data: Mapping[str, Any], allowed: set, where: str) -> None:
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ValueError(
+            f"{where}: unknown key(s) {unknown}; allowed: {sorted(allowed)}"
+        )
+
+
+def _as_float(value: Any, where: str) -> float:
+    """Strict numeric conversion: malformed values raise ValueError, not TypeError."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"{where}: expected a number, got {value!r}")
+    return float(value)
+
+
+def _as_int(value: Any, where: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{where}: expected an integer, got {value!r}")
+    return value
+
+
+def _as_str(value: Any, where: str) -> str:
+    if not isinstance(value, str):
+        raise ValueError(f"{where}: expected a string, got {value!r}")
+    return value
+
+
+def _opt_str(value: Any, where: str) -> Optional[str]:
+    return None if value is None else _as_str(value, where)
+
+
+def _opt_float(value: Any, where: str) -> Optional[float]:
+    return None if value is None else _as_float(value, where)
+
+
+def _opt_bool(value: Any, where: str) -> Optional[bool]:
+    if value is None:
+        return None
+    if not isinstance(value, bool):
+        raise ValueError(f"{where}: expected true/false/null, got {value!r}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# spec blocks
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class StimulusSpec:
+    """The logic stimulus driven into the link.
+
+    Attributes
+    ----------
+    bit_pattern:
+        Logic pattern forced by the driver (the paper uses ``"010"``).
+        Sweep scenarios may override it per scenario.
+    bit_time:
+        Bit duration (seconds).
+    edge_time:
+        Stimulus edge time (seconds); used by the linear-link sweep family
+        (RBF drivers take their edges from the identified model).
+    """
+
+    bit_pattern: str = "010"
+    bit_time: float = 2e-9
+    edge_time: float = 1e-10
+
+    def __post_init__(self):
+        if not isinstance(self.bit_pattern, str) or not self.bit_pattern \
+                or set(self.bit_pattern) - {"0", "1"}:
+            raise ValueError(f"bit_pattern must be a non-empty 0/1 string, got {self.bit_pattern!r}")
+        object.__setattr__(self, "bit_time", _as_float(self.bit_time, "stimulus.bit_time"))
+        object.__setattr__(self, "edge_time", _as_float(self.edge_time, "stimulus.edge_time"))
+        if self.bit_time <= 0 or self.edge_time <= 0:
+            raise ValueError("bit_time and edge_time must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "bit_pattern": self.bit_pattern,
+            "bit_time": self.bit_time,
+            "edge_time": self.edge_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any, where: str = "stimulus") -> "StimulusSpec":
+        data = _require_mapping(data, where)
+        _reject_unknown(data, {"bit_pattern", "bit_time", "edge_time"}, where)
+        return cls(**{k: data[k] for k in ("bit_pattern", "bit_time", "edge_time") if k in data})
+
+
+def _device_param_fields() -> dict:
+    from repro.macromodel.library import ReferenceDeviceParameters
+
+    return {f.name: f.type for f in dataclasses.fields(ReferenceDeviceParameters)}
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceSpec:
+    """Where the driver/receiver macromodels of a job come from.
+
+    Attributes
+    ----------
+    source:
+        ``"library"`` — the fast analytic reference models
+        (:func:`repro.macromodel.library.make_reference_driver_macromodel`);
+        ``"identified"`` — the full identification workflow from the
+        transistor-level devices (disk-cached);
+        ``"inline"`` — models embedded in the spec itself using the JSON
+        schema of :mod:`repro.macromodel.serialization` (the fully
+        self-contained, worker-shippable form).
+    n_centers:
+        Gaussian centre count for library/identified sources; ``None``
+        keeps each source's own defaults.  An explicit count pins the
+        driver submodels and gives the receiver protection submodels half
+        of it (min 30), mirroring the identified workflow's convention.
+    seed:
+        Identification seed (the receiver uses ``seed + 10`` for the
+        library source, matching the library defaults at ``seed=0``).
+    params:
+        Overrides of :class:`~repro.macromodel.library.ReferenceDeviceParameters`
+        fields (e.g. ``{"vdd": 2.5}``); keys are validated.
+    driver, receiver:
+        Embedded macromodel dictionaries (``source="inline"`` only).
+    """
+
+    source: str = "library"
+    n_centers: Optional[int] = None
+    seed: int = 0
+    params: Mapping[str, float] = dataclasses.field(default_factory=dict)
+    driver: Optional[Mapping[str, Any]] = None
+    receiver: Optional[Mapping[str, Any]] = None
+
+    def __post_init__(self):
+        if self.source not in ("library", "identified", "inline"):
+            raise ValueError(
+                f"devices.source must be 'library', 'identified' or 'inline', got {self.source!r}"
+            )
+        if self.n_centers is not None:
+            object.__setattr__(self, "n_centers", _as_int(self.n_centers, "devices.n_centers"))
+            if self.n_centers < 1:
+                raise ValueError("devices.n_centers must be positive")
+        object.__setattr__(self, "seed", _as_int(self.seed, "devices.seed"))
+        known = _device_param_fields()
+        params = {}
+        for key, value in dict(self.params).items():
+            if key not in known:
+                raise ValueError(
+                    f"devices.params: unknown device parameter {key!r}; "
+                    f"known: {sorted(known)}"
+                )
+            where = f"devices.params.{key}"
+            params[key] = (
+                _as_int(value, where) if key == "dynamic_order" else _as_float(value, where)
+            )
+        object.__setattr__(self, "params", params)
+        if self.source == "inline":
+            if self.driver is None and self.receiver is None:
+                raise ValueError("devices.source='inline' needs a driver and/or receiver model")
+            for label, model in (("driver", self.driver), ("receiver", self.receiver)):
+                if model is not None and not isinstance(model, Mapping):
+                    raise ValueError(f"devices.{label} must be a serialised macromodel object")
+        elif self.driver is not None or self.receiver is not None:
+            raise ValueError("embedded driver/receiver models require devices.source='inline'")
+        if self.driver is not None:
+            object.__setattr__(self, "driver", _freeze_json(self.driver, "devices.driver"))
+        if self.receiver is not None:
+            object.__setattr__(self, "receiver", _freeze_json(self.receiver, "devices.receiver"))
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "n_centers": self.n_centers,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "driver": self.driver,
+            "receiver": self.receiver,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any, where: str = "devices") -> "DeviceSpec":
+        data = _require_mapping(data, where)
+        _reject_unknown(
+            data, {"source", "n_centers", "seed", "params", "driver", "receiver"}, where
+        )
+        return cls(
+            source=data.get("source", "library"),
+            n_centers=data.get("n_centers"),
+            seed=data.get("seed", 0),
+            params=_require_mapping(data.get("params", {}), f"{where}.params"),
+            driver=data.get("driver"),
+            receiver=data.get("receiver"),
+        )
+
+
+def _freeze_json(data: Any, where: str) -> Any:
+    """Normalise an embedded JSON blob (and verify it *is* JSON)."""
+    try:
+        return json.loads(json.dumps(data))
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{where}: not JSON-serialisable: {exc}") from exc
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkSpec:
+    """The driver → interconnect → load validation link.
+
+    Mirrors :class:`repro.core.cosim.LinkDescription` (the stimulus and
+    duration live in their own spec blocks).  ``source_resistance`` is
+    used by the linear sweep family only; the 3-D FDTD engine takes its
+    interconnect from the structure block and ignores ``z0``/``delay``.
+    """
+
+    z0: float = 131.0
+    delay: float = 0.4e-9
+    load: str = "rc"
+    load_resistance: float = 500.0
+    load_capacitance: float = 1e-12
+    source_resistance: float = 50.0
+
+    def __post_init__(self):
+        if self.load not in ("rc", "receiver"):
+            raise ValueError(f"link.load must be 'rc' or 'receiver', got {self.load!r}")
+        for name in ("z0", "delay", "load_resistance", "load_capacitance", "source_resistance"):
+            object.__setattr__(self, name, _as_float(getattr(self, name), f"link.{name}"))
+        for name in ("z0", "delay", "load_resistance", "source_resistance"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"link.{name} must be positive")
+        if self.load_capacitance < 0:
+            raise ValueError("link.load_capacitance must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {
+            "z0": self.z0,
+            "delay": self.delay,
+            "load": self.load,
+            "load_resistance": self.load_resistance,
+            "load_capacitance": self.load_capacitance,
+            "source_resistance": self.source_resistance,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any, where: str = "link") -> "LinkSpec":
+        data = _require_mapping(data, where)
+        allowed = {
+            "z0", "delay", "load", "load_resistance", "load_capacitance", "source_resistance",
+        }
+        _reject_unknown(data, allowed, where)
+        return cls(**dict(data))
+
+
+@dataclasses.dataclass(frozen=True)
+class StructureSpec:
+    """The discretised 3-D structure of an ``fdtd3d`` job.
+
+    Attributes
+    ----------
+    name:
+        Structure family; currently only ``"validation_line"`` (the
+        paper's Figure 3 stacked-strip line).
+    scale:
+        Length scale in ``(0, 1]``; 1.0 is the paper's 160-cell line
+        (same cross-section, shorter delay when scaled down).
+    """
+
+    name: str = "validation_line"
+    scale: float = 1.0
+
+    def __post_init__(self):
+        if self.name != "validation_line":
+            raise ValueError(
+                f"structure.name must be 'validation_line', got {self.name!r}"
+            )
+        object.__setattr__(self, "scale", _as_float(self.scale, "structure.scale"))
+        if not 0 < self.scale <= 1:
+            raise ValueError("structure.scale must lie in (0, 1]")
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "scale": self.scale}
+
+    @classmethod
+    def from_dict(cls, data: Any, where: str = "structure") -> "StructureSpec":
+        data = _require_mapping(data, where)
+        _reject_unknown(data, {"name", "scale"}, where)
+        return cls(name=data.get("name", "validation_line"), scale=data.get("scale", 1.0))
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSpec:
+    """One scenario of a ``sweep`` job (mirrors :class:`repro.sweep.scenario.Scenario`)."""
+
+    name: str
+    bit_pattern: Optional[str] = None
+    drive_strength: float = 1.0
+    corner: Mapping[str, float] = dataclasses.field(default_factory=dict)
+    device: Optional[str] = None
+    static_group: Optional[str] = None
+
+    def __post_init__(self):
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(f"scenario name must be a non-empty string, got {self.name!r}")
+        if self.bit_pattern is not None and (
+            not isinstance(self.bit_pattern, str) or not self.bit_pattern
+            or set(self.bit_pattern) - {"0", "1"}
+        ):
+            raise ValueError(
+                f"scenario {self.name!r}: bit_pattern must be a 0/1 string or null"
+            )
+        where = f"scenario {self.name!r}"
+        object.__setattr__(
+            self, "drive_strength", _as_float(self.drive_strength, f"{where}.drive_strength")
+        )
+        object.__setattr__(
+            self,
+            "corner",
+            {
+                str(k): _as_float(v, f"{where}.corner[{k!r}]")
+                for k, v in dict(self.corner).items()
+            },
+        )
+
+    def to_scenario(self):
+        """The runtime :class:`~repro.sweep.scenario.Scenario` of this block."""
+        from repro.sweep.scenario import Scenario
+
+        return Scenario(
+            name=self.name,
+            bit_pattern=self.bit_pattern,
+            drive_strength=self.drive_strength,
+            corner=dict(self.corner),
+            device=self.device,
+            static_group=self.static_group,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "bit_pattern": self.bit_pattern,
+            "drive_strength": self.drive_strength,
+            "corner": dict(self.corner),
+            "device": self.device,
+            "static_group": self.static_group,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any, where: str = "scenario") -> "ScenarioSpec":
+        data = _require_mapping(data, where)
+        allowed = {"name", "bit_pattern", "drive_strength", "corner", "device", "static_group"}
+        _reject_unknown(data, allowed, where)
+        if "name" not in data:
+            raise ValueError(f"{where}: a scenario needs a name")
+        return cls(
+            name=data["name"],
+            bit_pattern=data.get("bit_pattern"),
+            drive_strength=data.get("drive_strength", 1.0),
+            corner=_require_mapping(data.get("corner", {}), f"{where}.corner"),
+            device=_opt_str(data.get("device"), f"{where}.device"),
+            static_group=_opt_str(data.get("static_group"), f"{where}.static_group"),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineOptions:
+    """Engine tuning knobs shared by every kind (irrelevant ones are ignored).
+
+    Attributes
+    ----------
+    dt:
+        Time step of the SPICE-class engines and sweeps (``None`` = the
+        engine default, 5 ps).  The FDTD engines derive their own step
+        (``delay / n_cells`` and the 3-D Courant limit respectively).
+    fast:
+        Fast-path selection forwarded to :func:`repro.perf.use_fastpath`
+        for the duration of the run; ``None`` follows the process default.
+    n_cells:
+        Spatial cells of the 1-D FDTD line.
+    variant:
+        Circuit-kind device variant: ``"rbf"`` (macromodels, the paper's
+        "SPICE (RBF model)" engine) or ``"transistor"`` (the
+        transistor-level reference engine).
+    sweep_family:
+        Sweep-kind testbench family: ``"linear"`` (Thevenin driver + RC
+        load, shared-LU block-solve path) or ``"rbf"`` (macromodel link,
+        batched Gaussian path).
+    sparse_mna:
+        Reserved (ROADMAP open item): sparse MNA assembly for netlists
+        beyond a few hundred unknowns.  Accepted by the spec so jobs can
+        already request it; engines reject it until the backend lands.
+    batch_prepare:
+        Reserved (ROADMAP open item): cross-scenario batching of the
+        per-step ``SeparableBlocks.prepare`` regressor folding.  Same
+        contract as ``sparse_mna``.
+    """
+
+    dt: Optional[float] = None
+    fast: Optional[bool] = None
+    n_cells: int = 100
+    variant: str = "rbf"
+    sweep_family: str = "rbf"
+    sparse_mna: bool = False
+    batch_prepare: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "dt", _opt_float(self.dt, "engine.dt"))
+        if self.dt is not None and self.dt <= 0:
+            raise ValueError("engine.dt must be positive (or null)")
+        object.__setattr__(self, "n_cells", _as_int(self.n_cells, "engine.n_cells"))
+        if self.n_cells < 4:
+            raise ValueError("engine.n_cells must be at least 4")
+        if self.variant not in ("rbf", "transistor"):
+            raise ValueError(
+                f"engine.variant must be 'rbf' or 'transistor', got {self.variant!r}"
+            )
+        if self.sweep_family not in ("linear", "rbf"):
+            raise ValueError(
+                f"engine.sweep_family must be 'linear' or 'rbf', got {self.sweep_family!r}"
+            )
+        _opt_bool(self.fast, "engine.fast")
+        for flag in ("sparse_mna", "batch_prepare"):
+            if not isinstance(getattr(self, flag), bool):
+                raise ValueError(f"engine.{flag} must be true/false")
+
+    def to_dict(self) -> dict:
+        return {
+            "dt": self.dt,
+            "fast": self.fast,
+            "n_cells": self.n_cells,
+            "variant": self.variant,
+            "sweep_family": self.sweep_family,
+            "sparse_mna": self.sparse_mna,
+            "batch_prepare": self.batch_prepare,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any, where: str = "engine") -> "EngineOptions":
+        data = _require_mapping(data, where)
+        allowed = {
+            "dt", "fast", "n_cells", "variant", "sweep_family", "sparse_mna", "batch_prepare",
+        }
+        _reject_unknown(data, allowed, where)
+        return cls(
+            dt=data.get("dt"),
+            fast=data.get("fast"),
+            n_cells=data.get("n_cells", 100),
+            variant=data.get("variant", "rbf"),
+            sweep_family=data.get("sweep_family", "rbf"),
+            sparse_mna=data.get("sparse_mna", False),
+            batch_prepare=data.get("batch_prepare", False),
+        )
+
+
+# ---------------------------------------------------------------------------
+# the spec itself
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class SimulationSpec:
+    """A complete, serialisable description of one simulation job.
+
+    Attributes
+    ----------
+    kind:
+        Engine kind: ``"circuit"``, ``"fdtd1d"``, ``"fdtd3d"`` or
+        ``"sweep"`` (see :func:`repro.api.engines.list_engines`).
+    duration:
+        Simulated time span (seconds).
+    stimulus, devices, link, structure, engine:
+        The spec blocks (see their classes).  ``structure`` matters only
+        for ``fdtd3d``; ``scenarios`` only (and mandatorily) for
+        ``sweep``.
+    scenarios:
+        The scenario batch of a sweep job.
+    label:
+        Free-form human label (part of the content hash).
+    """
+
+    kind: str
+    duration: float = 5e-9
+    stimulus: StimulusSpec = dataclasses.field(default_factory=StimulusSpec)
+    devices: DeviceSpec = dataclasses.field(default_factory=DeviceSpec)
+    link: LinkSpec = dataclasses.field(default_factory=LinkSpec)
+    structure: StructureSpec = dataclasses.field(default_factory=StructureSpec)
+    scenarios: Tuple[ScenarioSpec, ...] = ()
+    engine: EngineOptions = dataclasses.field(default_factory=EngineOptions)
+    label: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ENGINE_KINDS:
+            raise ValueError(f"unknown kind {self.kind!r}; expected one of {ENGINE_KINDS}")
+        object.__setattr__(self, "duration", _as_float(self.duration, "duration"))
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if not isinstance(self.label, str):
+            raise ValueError(f"label: expected a string, got {self.label!r}")
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        if self.kind == "sweep":
+            if not self.scenarios:
+                raise ValueError("a sweep spec needs at least one scenario")
+            names = [sc.name for sc in self.scenarios]
+            if len(set(names)) != len(names):
+                raise ValueError(f"scenario names must be unique, got {names}")
+            if self.engine.sweep_family == "rbf":
+                bad = [sc.name for sc in self.scenarios if sc.drive_strength != 1.0]
+                if bad:
+                    raise ValueError(
+                        f"rbf sweep scenarios cannot set drive_strength (the identified "
+                        f"driver fixes the drive): {bad}"
+                    )
+            elif self.link.load == "receiver":
+                raise ValueError(
+                    "the linear sweep family has no receiver macromodel; use "
+                    "link.load='rc' or engine.sweep_family='rbf'"
+                )
+        elif self.scenarios:
+            raise ValueError(f"scenarios are only valid for kind='sweep', not {self.kind!r}")
+        if self.kind == "circuit" and self.engine.variant == "transistor" \
+                and self.devices.source == "inline":
+            raise ValueError("the transistor-level variant does not use inline macromodels")
+
+    # -- serialisation -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """The strict JSON form of this spec (``spec_from_dict`` inverts it)."""
+        return {
+            "format_version": FORMAT_VERSION,
+            "kind": self.kind,
+            "label": self.label,
+            "duration": self.duration,
+            "stimulus": self.stimulus.to_dict(),
+            "devices": self.devices.to_dict(),
+            "link": self.link.to_dict(),
+            "structure": self.structure.to_dict(),
+            "scenarios": [sc.to_dict() for sc in self.scenarios],
+            "engine": self.engine.to_dict(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The spec as a JSON document (what a job file contains)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 of the canonical JSON encoding.
+
+        Equal for equal specs regardless of process, machine or the key
+        order of the dictionaries they were built from — the cache key of
+        a job's results.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def save(self, path: str) -> None:
+        """Write the spec as a JSON job file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    # -- derived -----------------------------------------------------------
+    def resolved_dt(self) -> float:
+        """The time step the engine will actually use (best effort for FDTD)."""
+        if self.kind == "fdtd1d":
+            return self.link.delay / self.engine.n_cells
+        if self.kind == "fdtd3d":
+            from repro.fdtd.courant import courant_time_step
+            from repro.structures.validation_line import ValidationLineStructure
+
+            return courant_time_step(
+                ValidationLineStructure.scaled(self.structure.scale).mesh_size
+            )
+        return self.engine.dt if self.engine.dt is not None else DEFAULT_DT
+
+    def quickened(self) -> "SimulationSpec":
+        """A cheap smoke-run variant of this spec (the CLI's ``--quick``).
+
+        Caps the simulated span at two bit times (at least 50 steps) and
+        shrinks a 3-D structure to the smallest supported scale.  Meant
+        for CI smoke tests — the waveforms are shorter, not different.
+        """
+        duration = min(self.duration, max(2.0 * self.stimulus.bit_time,
+                                          50.0 * self.resolved_dt()))
+        changes: dict = {"duration": duration}
+        if self.kind == "fdtd3d" and self.structure.scale > 0.125:
+            changes["structure"] = dataclasses.replace(self.structure, scale=0.125)
+        return dataclasses.replace(self, **changes)
+
+
+def spec_from_dict(data: Any) -> SimulationSpec:
+    """Rebuild a :class:`SimulationSpec` from its ``to_dict`` form (strict)."""
+    data = _require_mapping(data, "spec")
+    allowed = {
+        "format_version", "kind", "label", "duration", "stimulus", "devices",
+        "link", "structure", "scenarios", "engine",
+    }
+    _reject_unknown(data, allowed, "spec")
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported spec format_version {version!r} (this build reads {FORMAT_VERSION})"
+        )
+    if "kind" not in data:
+        raise ValueError("spec: missing 'kind'")
+    scenarios_data = data.get("scenarios", [])
+    if not isinstance(scenarios_data, (list, tuple)):
+        raise ValueError("spec.scenarios: expected a JSON array")
+    return SimulationSpec(
+        kind=data["kind"],
+        duration=data.get("duration", 5e-9),
+        stimulus=StimulusSpec.from_dict(data.get("stimulus", {})),
+        devices=DeviceSpec.from_dict(data.get("devices", {})),
+        link=LinkSpec.from_dict(data.get("link", {})),
+        structure=StructureSpec.from_dict(data.get("structure", {})),
+        scenarios=tuple(
+            ScenarioSpec.from_dict(sc, where=f"scenarios[{k}]")
+            for k, sc in enumerate(scenarios_data)
+        ),
+        engine=EngineOptions.from_dict(data.get("engine", {})),
+        label=data.get("label", ""),
+    )
+
+
+def load_spec(path: str) -> SimulationSpec:
+    """Read and validate a JSON job file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except ValueError as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    return spec_from_dict(data)

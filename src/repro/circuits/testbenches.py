@@ -80,6 +80,7 @@ def _link_result(
             "mean_newton_iterations": float(np.mean(iterations[1:])) if len(iterations) > 1 else 0.0,
             "max_newton_iterations": int(np.max(iterations)),
             "wall_time": wall_time,
+            "dt": float(times[1] - times[0]) if len(times) > 1 else 0.0,
         },
     )
 

@@ -18,7 +18,11 @@ import numpy as np
 
 from repro.core.newton import NewtonStats
 
-__all__ = ["SimulationResult", "LinkDescription"]
+__all__ = ["SimulationResult", "LinkDescription", "CURRENT_WAVEFORM_PREFIX"]
+
+#: prefix under which current probes appear in the uniform waveform
+#: namespace (shared with :class:`repro.api.result.Result`)
+CURRENT_WAVEFORM_PREFIX = "i:"
 
 
 @dataclasses.dataclass
@@ -83,6 +87,25 @@ class SimulationResult:
                 f"no voltage probe named '{name}'; available: {sorted(self.voltages)}"
             )
         return self.voltages[name]
+
+    def names(self) -> list:
+        """Every waveform name, sorted — the uniform-result interface of
+        :class:`repro.api.result.Result` (currents are prefixed
+        :data:`CURRENT_WAVEFORM_PREFIX`)."""
+        return sorted(
+            list(self.voltages)
+            + [CURRENT_WAVEFORM_PREFIX + k for k in self.currents]
+        )
+
+    def waveform(self, name: str) -> np.ndarray:
+        """Uniform accessor matching :meth:`repro.api.result.Result.waveform`."""
+        if name.startswith(CURRENT_WAVEFORM_PREFIX):
+            key = name[len(CURRENT_WAVEFORM_PREFIX):]
+            if key in self.currents:
+                return self.currents[key]
+        elif name in self.voltages:
+            return self.voltages[name]
+        raise KeyError(f"no waveform named {name!r}; available: {self.names()}")
 
     def resampled_voltage(self, name: str, new_times: np.ndarray) -> np.ndarray:
         """A probe waveform linearly interpolated onto another time axis.

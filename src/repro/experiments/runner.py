@@ -28,28 +28,60 @@ from repro.experiments.reporting import format_table, sample_series
 __all__ = ["main", "run_sweep_study"]
 
 
-def run_sweep_study(models, bit_time: float = 2e-9, dt: float = 1e-11) -> None:
-    """Batched pattern x corner sweep of the RBF link with an eye report."""
-    from repro.sweep import Scenario, eye_report, rbf_link_sweep
+def run_sweep_study(
+    models, bit_time: float = 2e-9, dt: float = 1e-11, scale: float = 1.0
+) -> None:
+    """Batched pattern x corner sweep of the RBF link with an eye report.
+
+    The study is described as a declarative job (one
+    :class:`~repro.api.spec.SimulationSpec`) and executed through
+    :func:`repro.api.run` — the already-identified ``models`` are injected
+    so the identification is not repeated.  ``scale`` shortens the line
+    (the runner's ``--scale`` structure-length knob maps onto the ideal
+    line's one-way delay), and ``bit_time``/``dt`` are the spec's timing
+    defaults (the runner's ``--fast`` coarsens ``dt``).
+    """
+    from repro.api import (
+        DeviceSpec,
+        EngineOptions,
+        LinkSpec,
+        ScenarioSpec,
+        SimulationSpec,
+        StimulusSpec,
+    )
+    from repro.api import run as run_job
+    from repro.sweep import eye_report
 
     patterns = ["01011010", "01100110", "01010101", "00111001"]
-    scenarios = [
-        Scenario(name=f"{pattern}/z{z0:.0f}", bit_pattern=pattern, corner=corner)
+    scenarios = tuple(
+        ScenarioSpec(name=f"{pattern}/z{z0:.0f}", bit_pattern=pattern, corner=corner)
         for pattern in patterns
         for z0, corner in ((131.0, {}), (100.0, {"z0": 100.0}))
-    ]
-    duration = (len(patterns[0]) + 1) * bit_time
-    sweep = rbf_link_sweep(
-        scenarios, {None: (models.driver, models.receiver)}, dt=dt, duration=duration
     )
-    result = sweep.run()
+    spec = SimulationSpec(
+        kind="sweep",
+        label="runner --sweep: bit patterns x line corners, RBF link",
+        duration=(len(patterns[0]) + 1) * bit_time,
+        stimulus=StimulusSpec(bit_pattern=patterns[0], bit_time=bit_time),
+        # The spec must describe the injected models so its content hash
+        # keys the right result: library vs identified produce different
+        # waveforms and must never share a cache entry.
+        devices=DeviceSpec(
+            source="library" if models.source == "library" else "identified"
+        ),
+        link=LinkSpec(delay=0.4e-9 * scale),
+        scenarios=scenarios,
+        engine=EngineOptions(dt=dt, sweep_family="rbf"),
+    )
+    result = run_job(spec, models=models)
+    sweep = result.raw
     vdd = models.params.vdd
-    report = eye_report(result, "far", bit_time, low=0.0, high=vdd, t_start=bit_time)
+    report = eye_report(sweep, "far", bit_time, low=0.0, high=vdd, t_start=bit_time)
     print(report.format())
     stats = result.perf_stats
     print(
-        f"\n{result.n_scenarios} scenarios in {result.wall_time:.2f} s "
-        f"({result.amortised_wall_time()*1e3:.1f} ms/scenario amortised); "
+        f"\n{sweep.n_scenarios} scenarios in {sweep.wall_time:.2f} s "
+        f"({sweep.amortised_wall_time()*1e3:.1f} ms/scenario amortised); "
         f"{stats['static_groups']} static groups, "
         f"{stats['static_reuses']} static reuses, "
         f"{stats['batched_rbf_evals']} batched RBF evaluations"
@@ -73,7 +105,10 @@ def main(argv: list[str] | None = None) -> None:
     if args.sweep:
         print("== Scenario sweep: bit patterns x line corners, batched engine ==")
         models = identified_reference_macromodels(use_identification=use_identification)
-        run_sweep_study(models)
+        # --scale shortens the swept line exactly like it shortens the 3-D
+        # structure of the figure experiments; --fast coarsens the sweep's
+        # time step along with its switch to the library macromodels.
+        run_sweep_study(models, dt=2e-11 if args.fast else 1e-11, scale=scale)
         return
 
     print("== Figure 2: resampling stability ==")

@@ -159,5 +159,10 @@ class FDTD1DLine:
             currents={"near_end": i_near, "far_end": i_far},
             engine="fdtd1d-rbf",
             newton_stats=self.newton_stats,
-            metadata={"dt": self.dt, "n_cells": self.n_cells},
+            metadata={
+                "dt": self.dt,
+                "n_cells": self.n_cells,
+                "z0": self.z0,
+                "delay": self.delay,
+            },
         )

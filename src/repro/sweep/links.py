@@ -48,10 +48,31 @@ class LinearLinkSpec:
     vdd: float = 1.8
     bit_time: float = 2e-9
     edge_time: float = 1e-10
+    bit_pattern: str = "010"
+
+    @classmethod
+    def from_job_spec(cls, spec) -> "LinearLinkSpec":
+        """Testbench defaults taken from a :class:`repro.api.spec.SimulationSpec`.
+
+        Duck-typed (reads ``spec.link``, ``spec.stimulus``, ``spec.devices``)
+        so this module stays import-independent of :mod:`repro.api`; the job
+        API's sweep adapter is the caller.
+        """
+        return cls(
+            z0=spec.link.z0,
+            delay=spec.link.delay,
+            source_resistance=spec.link.source_resistance,
+            load_resistance=spec.link.load_resistance,
+            load_capacitance=spec.link.load_capacitance,
+            vdd=float(spec.devices.params.get("vdd", cls.vdd)),
+            bit_time=spec.stimulus.bit_time,
+            edge_time=spec.stimulus.edge_time,
+            bit_pattern=spec.stimulus.bit_pattern,
+        )
 
     def build(self, scenario: Scenario) -> Circuit:
         """The linear link circuit for one scenario."""
-        pattern = scenario.bit_pattern or "010"
+        pattern = scenario.bit_pattern or self.bit_pattern
         stimulus = BitPattern(
             pattern=pattern,
             bit_time=self.bit_time,
@@ -96,6 +117,22 @@ class RBFLinkSpec:
     delay: float = 0.4e-9
     vdd: float = 1.8
     bit_time: float = 2e-9
+    bit_pattern: str = "010"
+
+    @classmethod
+    def from_job_spec(cls, spec) -> "RBFLinkSpec":
+        """Testbench defaults taken from a :class:`repro.api.spec.SimulationSpec`.
+
+        The devices mapping is filled in by :func:`rbf_link_sweep` (the job
+        API resolves the macromodels from ``spec.devices`` separately).
+        """
+        return cls(
+            z0=spec.link.z0,
+            delay=spec.link.delay,
+            vdd=float(spec.devices.params.get("vdd", cls.vdd)),
+            bit_time=spec.stimulus.bit_time,
+            bit_pattern=spec.stimulus.bit_pattern,
+        )
 
     def pair(self, scenario: Scenario) -> Tuple[DriverMacromodel, ReceiverMacromodel]:
         """The (driver, receiver) pair of one scenario."""
@@ -118,7 +155,7 @@ class RBFLinkSpec:
                 "express drive variants as device variants instead"
             )
         driver, receiver = self.pair(scenario)
-        pattern = scenario.bit_pattern or "010"
+        pattern = scenario.bit_pattern or self.bit_pattern
         stimulus = LogicStimulus.from_pattern(pattern, self.bit_time)
         bound = driver.bound(stimulus)
         v0 = self.vdd if stimulus.initial_state == 1 else 0.0

@@ -96,6 +96,21 @@ class TestCIPipeline:
         )
         assert setup["with"]["cache"] == "pip"
 
+    def test_quick_tier_runs_cli_smoke(self, workflow):
+        test_job = workflow["jobs"]["test"]
+        commands = " ".join(
+            step.get("run", "") for step in test_job["steps"] if isinstance(step, dict)
+        )
+        assert "python -m repro run examples/jobs/linear_link.json --quick" in commands
+        assert "python -m repro list-engines" in commands
+        # the smoke step must actually assert a waveform in the artifact
+        assert "waveforms" in commands
+        uploads = [
+            step for step in test_job["steps"]
+            if "upload-artifact" in str(step.get("uses", ""))
+        ]
+        assert uploads and "linear_link.result.json" in uploads[0]["with"]["path"]
+
     def test_nightly_runs_slow_tier_and_perf_smoke(self, workflow):
         nightly = workflow["jobs"]["nightly-full"]
         commands = " ".join(
