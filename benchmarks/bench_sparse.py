@@ -1,0 +1,230 @@
+"""Sparse-vs-dense linear-solver backend benchmark.
+
+Measures the scaling story of :mod:`repro.perf.backends`: the dense LAPACK
+backend is the fastest at paper-sized circuits (a handful of unknowns) but
+pays O(n^2) assembly/solves and an O(n^3) factorization as netlists grow,
+while the sparse-CSC backend assembles COO-recorded stamps into a cached
+sparsity pattern and ``splu``-factors purely linear circuits exactly once.
+
+Workloads come from the parameterised netlist generators of
+:mod:`repro.circuits.ladder`:
+
+* ``ladder`` — a driven RC ladder (banded Jacobian), sized well past
+  1000 MNA unknowns;
+* ``mesh``   — a 2-D RC grid (fill-in-sensitive 2-D structure);
+* ``paper``  — the paper's validation link at its native size, where the
+  *dense* backend must stay the faster default.
+
+Gates: the sparse backend must beat the dense backend by at least
+``--min-speedup`` (default 2.0) on every workload with >= 1000 unknowns,
+each linear transient must report exactly one symbolic factorization and
+one numeric factorization in ``perf_stats``, sparse and dense waveforms
+must agree to <= 1e-12 relative, and the auto backend selection must keep
+dense the default (and the faster choice) at paper scale.
+
+Writes ``BENCH_sparse.json``.  Run as a script:
+
+    PYTHONPATH=src python benchmarks/bench_sparse.py
+
+Use ``--quick`` for a CI-sized smoke run (smallest >= 1000-unknown sizes,
+shorter transients).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.circuits.ladder import rc_grid_circuit, rc_ladder_circuit  # noqa: E402
+from repro.circuits.transient import TransientOptions, TransientSolver  # noqa: E402
+from repro.perf.backends import resolve_backend_name, sparse_available  # noqa: E402
+from repro.waveforms.signals import BitPattern  # noqa: E402
+
+REL_TOL = 1e-12
+
+
+def _stimulus() -> BitPattern:
+    return BitPattern(pattern="0110", bit_time=1e-9, low=0.0, high=1.8, edge_time=1e-10)
+
+
+def _build(workload: str, size: int):
+    """One generated circuit plus its probe node."""
+    if workload == "ladder":
+        return rc_ladder_circuit(size, waveform=_stimulus())
+    if workload == "mesh":
+        return rc_grid_circuit(size, size, waveform=_stimulus())
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def _run(circuit, probe: str, dt: float, duration: float, backend: str):
+    solver = TransientSolver(
+        circuit, dt, options=TransientOptions(backend=backend)
+    )
+    t0 = time.perf_counter()
+    result = solver.run(duration, record_nodes=[probe], record_branches=[])
+    wall = time.perf_counter() - t0
+    return result, wall, solver.perf_stats
+
+
+def bench_workload(
+    workload: str, size: int, dt: float, duration: float, trials: int
+) -> dict:
+    """Dense vs sparse on one generated netlist (fresh circuit per run)."""
+    n_unknowns = _build(workload, size)[0].compile().n_unknowns
+    waves = {}
+    walls = {}
+    stats = {}
+    for backend in ("dense", "sparse"):
+        best = None
+        for _ in range(trials):
+            circuit, probe = _build(workload, size)
+            result, wall, perf_stats = _run(circuit, probe, dt, duration, backend)
+            best = wall if best is None else min(best, wall)
+        waves[backend] = result.voltage(probe)
+        walls[backend] = best
+        stats[backend] = perf_stats
+    scale = max(float(np.max(np.abs(waves["dense"]))), 1e-30)
+    rel_err = float(np.max(np.abs(waves["sparse"] - waves["dense"]))) / scale
+    entry = {
+        "workload": workload,
+        "size": size,
+        "n_unknowns": int(n_unknowns),
+        "steps": int(round(duration / dt)),
+        "dense_s": round(walls["dense"], 5),
+        "sparse_s": round(walls["sparse"], 5),
+        "sparse_speedup": round(walls["dense"] / walls["sparse"], 3),
+        "rel_error_sparse_vs_dense": rel_err,
+        "sparse_factorizations": stats["sparse"]["sparse_factorizations"],
+        "symbolic_factorizations": stats["sparse"]["symbolic_factorizations"],
+        "dense_factorizations": stats["dense"]["factorizations"],
+        "auto_backend": resolve_backend_name(None, n_unknowns),
+    }
+    print(
+        f"{workload:7s} n={n_unknowns:5d}  dense {walls['dense']*1e3:8.1f} ms   "
+        f"sparse {walls['sparse']*1e3:8.1f} ms   speedup {entry['sparse_speedup']:6.2f}x   "
+        f"rel err {rel_err:.2e}   symbolic factorizations "
+        f"{entry['symbolic_factorizations']}"
+    )
+    return entry
+
+
+def bench_paper_scale(dt: float, duration: float, trials: int) -> dict:
+    """The paper's validation link: dense must stay the fast default."""
+    from repro.circuits.testbenches import run_link_rbf
+    from repro.core.cosim import LinkDescription
+    from repro.macromodel.library import (
+        ReferenceDeviceParameters,
+        make_reference_driver_macromodel,
+        make_reference_receiver_macromodel,
+    )
+
+    params = ReferenceDeviceParameters()
+    driver = make_reference_driver_macromodel(params, seed=0)
+    receiver = make_reference_receiver_macromodel(params, seed=10)
+    link = LinkDescription(duration=duration)
+    walls = {}
+    waves = {}
+    for backend in ("dense", "sparse"):
+        best = None
+        for _ in range(trials):
+            t0 = time.perf_counter()
+            result = run_link_rbf(
+                link, driver, receiver, dt=dt, params=params,
+                options=TransientOptions(backend=backend),
+            )
+            best = min(best, time.perf_counter() - t0) if best is not None else (
+                time.perf_counter() - t0
+            )
+        walls[backend] = best
+        waves[backend] = result.voltage("far_end")
+    scale = max(float(np.max(np.abs(waves["dense"]))), 1e-30)
+    rel_err = float(np.max(np.abs(waves["sparse"] - waves["dense"]))) / scale
+    entry = {
+        "workload": "paper",
+        "dense_s": round(walls["dense"], 5),
+        "sparse_s": round(walls["sparse"], 5),
+        "dense_speedup_vs_sparse": round(walls["sparse"] / walls["dense"], 3),
+        "rel_error_sparse_vs_dense": rel_err,
+        "auto_backend": resolve_backend_name(None, 8),
+        "dense_is_faster": walls["dense"] <= walls["sparse"],
+    }
+    print(
+        f"paper    link       dense {walls['dense']*1e3:8.1f} ms   "
+        f"sparse {walls['sparse']*1e3:8.1f} ms   dense wins "
+        f"{entry['dense_speedup_vs_sparse']:.2f}x   auto -> {entry['auto_backend']}"
+    )
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_sparse.json")
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument("--quick", action="store_true",
+                        help="smallest >=1000-unknown sizes, shorter transients")
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="gate: sparse must beat dense by this factor at >= 1000 unknowns",
+    )
+    args = parser.parse_args(argv)
+    if not sparse_available():
+        print("scipy.sparse unavailable — sparse backend benchmark skipped")
+        return 0
+
+    if args.quick:
+        cases = [("ladder", 1100), ("mesh", 33)]
+        dt, duration = 1e-11, 2e-9
+        trials = max(1, min(args.trials, 2))
+    else:
+        cases = [("ladder", 1100), ("ladder", 2500), ("mesh", 40)]
+        dt, duration = 1e-11, 4e-9
+        trials = args.trials
+
+    entries = [
+        bench_workload(workload, size, dt, duration, trials)
+        for workload, size in cases
+    ]
+    paper = bench_paper_scale(5e-12, 4e-9, trials)
+
+    large = [e for e in entries if e["n_unknowns"] >= 1000]
+    ok = (
+        bool(large)
+        and all(e["sparse_speedup"] >= args.min_speedup for e in large)
+        and all(e["rel_error_sparse_vs_dense"] <= REL_TOL for e in entries)
+        and all(e["symbolic_factorizations"] == 1 for e in entries)
+        and all(e["sparse_factorizations"] == 1 for e in entries)
+        and all(e["auto_backend"] == "sparse" for e in large)
+        and paper["auto_backend"] == "dense"
+        and paper["dense_is_faster"]
+        and paper["rel_error_sparse_vs_dense"] <= REL_TOL
+    )
+
+    report = {
+        "quick": bool(args.quick),
+        "trials": trials,
+        "numpy": np.__version__,
+        "workloads": entries,
+        "paper_scale": paper,
+        "targets": {
+            "sparse_speedup_at_1000_unknowns": args.min_speedup,
+            "rel_error": REL_TOL,
+            "symbolic_factorizations_per_linear_transient": 1,
+        },
+        "targets_met": ok,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {args.output}")
+    print("targets met" if ok else "targets NOT met")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

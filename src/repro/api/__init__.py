@@ -82,12 +82,44 @@ __all__ = [
     "run_file",
 ]
 
-#: engine-option flags reserved for ROADMAP backends (spec-addressable now,
-#: rejected at run time until the backend lands)
-_RESERVED_OPTIONS = {
-    "sparse_mna": "sparse MNA assembly for large netlists",
-    "batch_prepare": "cross-scenario batching of SeparableBlocks.prepare",
+#: backend-gated engine-option flags: spec-addressable always, runnable
+#: once a backend registers via ``engines.register_option_backend`` (both
+#: stock flags registered since PR 4).  ``hint`` names where the missing
+#: backend would come from, so a rejected job file is self-explanatory.
+_BACKED_OPTIONS = {
+    "sparse_mna": {
+        "summary": "sparse MNA assembly for large netlists",
+        "hint": "implemented by repro.perf.backends.SparseBackend and routed "
+                "by the circuit/sweep adapters (PR 4); a build rejecting it "
+                "predates that backend (scipy-less installs accept the flag "
+                "and degrade to the dense path with a RuntimeWarning)",
+    },
+    "batch_prepare": {
+        "summary": "cross-scenario batching of SeparableBlocks.prepare",
+        "hint": "implemented by repro.perf.rbf_fast.BatchedPrepare and routed "
+                "by the sweep adapter (PR 4); a build rejecting it predates "
+                "that backend",
+    },
 }
+
+
+def _check_backed_options(spec) -> None:
+    """Reject flags whose backend is not registered, with a useful message."""
+    from repro.api.engines import option_backend, supported_engine_options
+
+    for flag, meta in _BACKED_OPTIONS.items():
+        if not getattr(spec.engine, flag, False) or option_backend(flag) is not None:
+            continue
+        supported = supported_engine_options()
+        supported_text = (
+            "; ".join(f"engine.{name}: {backend}" for name, backend in supported.items())
+            or "none"
+        )
+        raise NotImplementedError(
+            f"engine.{flag} ({meta['summary']}) has no registered backend in "
+            f"this build — {meta['hint']}. Engine options with a registered "
+            f"backend: {supported_text}."
+        )
 
 
 def run(spec, *, models=None) -> Result:
@@ -114,12 +146,7 @@ def run(spec, *, models=None) -> Result:
     """
     if not isinstance(spec, SimulationSpec):
         spec = spec_from_dict(spec)
-    for flag, summary in _RESERVED_OPTIONS.items():
-        if getattr(spec.engine, flag):
-            raise NotImplementedError(
-                f"engine.{flag} ({summary}) is a reserved option — see the "
-                "ROADMAP open items; no registered backend implements it yet"
-            )
+    _check_backed_options(spec)
     engine = get_engine(spec.kind)
     if spec.engine.fast is not None:
         from repro import perf

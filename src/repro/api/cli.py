@@ -97,6 +97,9 @@ def _cmd_run(path: str, quick: bool, output: str | None) -> int:
         print(f"  {name}: min {wave.min():+.4g}  max {wave.max():+.4g}")
     interesting = (
         "shared_factorizations", "static_reuses", "batched_rbf_evals", "block_solves",
+        "backend", "factorizations", "sparse_factorizations",
+        "symbolic_factorizations", "pattern_reuses",
+        "batched_prepare_folds", "batched_prepare_scenarios",
     )
     stats = {k: result.perf_stats[k] for k in interesting if k in result.perf_stats}
     if stats:

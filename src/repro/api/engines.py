@@ -34,6 +34,9 @@ __all__ = [
     "list_engines",
     "EngineInfo",
     "resolve_models",
+    "register_option_backend",
+    "option_backend",
+    "supported_engine_options",
 ]
 
 
@@ -77,6 +80,34 @@ def get_engine(kind: str) -> EngineInfo:
 def list_engines() -> list[EngineInfo]:
     """Every registered engine, sorted by kind."""
     return [_REGISTRY[kind] for kind in sorted(_REGISTRY)]
+
+
+# ---------------------------------------------------------------------------
+# backend-gated engine options
+# ---------------------------------------------------------------------------
+#
+# Some EngineOptions flags describe optimisations that need a registered
+# backend (they started life as reserved ROADMAP items rejected at run
+# time).  Backends announce themselves here; ``repro.api.run`` refuses a
+# spec requesting a flag nobody registered — with an error that names the
+# implementing backend it is missing and the options that *are* available.
+
+_OPTION_BACKENDS: dict[str, str] = {}
+
+
+def register_option_backend(flag: str, backend: str) -> None:
+    """Mark an engine-option flag as implemented by the named backend."""
+    _OPTION_BACKENDS[flag] = backend
+
+
+def option_backend(flag: str) -> str | None:
+    """The backend registered for a flag, or ``None`` while it is reserved."""
+    return _OPTION_BACKENDS.get(flag)
+
+
+def supported_engine_options() -> dict[str, str]:
+    """Every backend-gated flag that has a registered implementation."""
+    return dict(sorted(_OPTION_BACKENDS.items()))
 
 
 # ---------------------------------------------------------------------------
@@ -145,7 +176,17 @@ def _link_description(spec: SimulationSpec):
         load=spec.link.load,
         load_resistance=spec.link.load_resistance,
         load_capacitance=spec.link.load_capacitance,
+        segments=spec.link.segments,
     )
+
+
+def _transient_options(spec: SimulationSpec):
+    """The :class:`TransientOptions` a spec's engine block selects, or None."""
+    if not spec.engine.sparse_mna:
+        return None
+    from repro.circuits.transient import TransientOptions
+
+    return TransientOptions(backend="sparse")
 
 
 def _spec_meta(spec: SimulationSpec) -> dict:
@@ -166,17 +207,19 @@ def _run_circuit(spec: SimulationSpec, models=None) -> Result:
 
     link = _link_description(spec)
     dt = spec.engine.dt if spec.engine.dt is not None else DEFAULT_DT
+    options = _transient_options(spec)
     if spec.engine.variant == "transistor":
         from repro.macromodel.library import ReferenceDeviceParameters
 
         params = dataclasses.replace(
             ReferenceDeviceParameters(), **dict(spec.devices.params)
         )
-        result = run_link_transistor(link, params, dt=dt)
+        result = run_link_transistor(link, params, dt=dt, options=options)
     else:
         models = models if models is not None else resolve_models(spec)
         result = run_link_rbf(
-            link, models.driver, models.receiver, dt=dt, params=models.params
+            link, models.driver, models.receiver, dt=dt, params=models.params,
+            options=options,
         )
     return Result.from_simulation_result(result, meta=_spec_meta(spec))
 
@@ -228,12 +271,15 @@ def _run_sweep(spec: SimulationSpec, models=None) -> Result:
 
     scenarios = [sc.to_scenario() for sc in spec.scenarios]
     dt = spec.engine.dt if spec.engine.dt is not None else DEFAULT_DT
+    options = _transient_options(spec)
     if spec.engine.sweep_family == "linear":
         sweep = linear_link_sweep(
             scenarios,
             dt=dt,
             duration=spec.duration,
             spec=LinearLinkSpec.from_job_spec(spec),
+            options=options,
+            batch_prepare=spec.engine.batch_prepare,
         )
         engine_label = "sweep-linear"
     else:
@@ -244,9 +290,25 @@ def _run_sweep(spec: SimulationSpec, models=None) -> Result:
             dt=dt,
             duration=spec.duration,
             spec=RBFLinkSpec.from_job_spec(spec),
+            options=options,
+            batch_prepare=spec.engine.batch_prepare,
         )
         engine_label = "sweep-rbf"
     result = sweep.run()
     meta = _spec_meta(spec)
     meta["dt"] = dt
     return Result.from_sweep_result(result, engine=engine_label, meta=meta)
+
+
+# The backend-gated flags the stock adapters above route (PR 4 closed the
+# two reserved ROADMAP items; see repro.api.run for the gate).
+register_option_backend(
+    "sparse_mna",
+    "repro.perf.backends.SparseBackend via TransientOptions(backend='sparse') "
+    "(circuit and sweep adapters, PR 4)",
+)
+register_option_backend(
+    "batch_prepare",
+    "repro.perf.rbf_fast.BatchedPrepare via CircuitSweep(batch_prepare=True) "
+    "(sweep adapter, PR 4)",
+)

@@ -177,8 +177,10 @@ class Result:
         waveforms: Dict[str, np.ndarray] = dict(result.voltages)
         for name, wave in result.currents.items():
             waveforms[CURRENT_WAVEFORM_PREFIX + name] = wave
-        stats = {}
         full_meta = dict(result.metadata)
+        # Solver/backend counters (factorizations, pattern reuses, ...)
+        # travel in the native result's metadata; surface them uniformly.
+        stats = dict(full_meta.pop("solver_stats", {}))
         if result.newton_stats is not None:
             full_meta["newton_mean_iterations"] = result.newton_stats.mean_iterations
             full_meta["newton_max_iterations"] = result.newton_stats.max_iterations

@@ -280,6 +280,9 @@ class LinkSpec:
     duration live in their own spec blocks).  ``source_resistance`` is
     used by the linear sweep family only; the 3-D FDTD engine takes its
     interconnect from the structure block and ignores ``z0``/``delay``.
+    ``segments`` discretises the circuit-engine interconnect into an
+    LC ladder (0 keeps the ideal line; ``N > 0`` adds ~2N MNA unknowns —
+    the system-scale workload of ``engine.sparse_mna``).
     """
 
     z0: float = 131.0
@@ -288,6 +291,7 @@ class LinkSpec:
     load_resistance: float = 500.0
     load_capacitance: float = 1e-12
     source_resistance: float = 50.0
+    segments: int = 0
 
     def __post_init__(self):
         if self.load not in ("rc", "receiver"):
@@ -299,6 +303,9 @@ class LinkSpec:
                 raise ValueError(f"link.{name} must be positive")
         if self.load_capacitance < 0:
             raise ValueError("link.load_capacitance must be non-negative")
+        object.__setattr__(self, "segments", _as_int(self.segments, "link.segments"))
+        if self.segments < 0:
+            raise ValueError("link.segments must be non-negative")
 
     def to_dict(self) -> dict:
         return {
@@ -308,13 +315,15 @@ class LinkSpec:
             "load_resistance": self.load_resistance,
             "load_capacitance": self.load_capacitance,
             "source_resistance": self.source_resistance,
+            "segments": self.segments,
         }
 
     @classmethod
     def from_dict(cls, data: Any, where: str = "link") -> "LinkSpec":
         data = _require_mapping(data, where)
         allowed = {
-            "z0", "delay", "load", "load_resistance", "load_capacitance", "source_resistance",
+            "z0", "delay", "load", "load_resistance", "load_capacitance",
+            "source_resistance", "segments",
         }
         _reject_unknown(data, allowed, where)
         return cls(**dict(data))
@@ -454,13 +463,17 @@ class EngineOptions:
         load, shared-LU block-solve path) or ``"rbf"`` (macromodel link,
         batched Gaussian path).
     sparse_mna:
-        Reserved (ROADMAP open item): sparse MNA assembly for netlists
-        beyond a few hundred unknowns.  Accepted by the spec so jobs can
-        already request it; engines reject it until the backend lands.
+        Route the circuit/sweep MNA solves through the sparse-CSC backend
+        (:class:`repro.perf.backends.SparseBackend`): true sparse assembly
+        with a cached sparsity pattern and ``splu`` factorization reuse,
+        for netlists beyond a few hundred unknowns (see ``link.segments``).
+        ``false`` keeps the automatic choice (dense at paper scale).
+        Ignored by the field engines.
     batch_prepare:
-        Reserved (ROADMAP open item): cross-scenario batching of the
-        per-step ``SeparableBlocks.prepare`` regressor folding.  Same
-        contract as ``sparse_mna``.
+        Fold the per-step RBF regressor preparation of all lockstep sweep
+        scenarios in one stacked pass per step
+        (:class:`repro.perf.rbf_fast.BatchedPrepare`).  Sweep kind only;
+        ignored elsewhere.
     """
 
     dt: Optional[float] = None

@@ -1,0 +1,263 @@
+"""Parameterised ladder / mesh netlist generators.
+
+The paper's validation link is tiny (a handful of MNA unknowns), which is
+exactly what the dense fast path is tuned for — but the macromodels only
+pay off at *system* scale, where the interconnect is no longer one ideal
+two-port.  This module generates the large structured netlists that
+exercise the sparse solver backend (:mod:`repro.perf.backends`):
+
+* :func:`add_lc_ladder` — an ``N``-section lumped LC discretisation of a
+  lossless line with characteristic impedance ``z0`` and total delay
+  ``delay`` (per section ``L = z0*delay/N``, ``C = delay/(z0*N)``).  Used
+  by the link testbenches when ``LinkDescription.segments > 0`` and by the
+  ``link.segments`` job-spec option: the same link, but with ``~2N`` MNA
+  unknowns instead of an ideal delay element.
+* :func:`rc_ladder_circuit` / :func:`rc_grid_circuit` — driven RC ladder
+  and 2-D RC mesh benchmarks of parameterised size, the workloads of
+  ``benchmarks/bench_sparse.py``.
+
+All generators return ordinary :class:`~repro.circuits.netlist.Circuit`
+objects built from the stock static elements, so every solver path (naive
+reference, dense fast, sparse fast) runs them unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.elements import (
+    Capacitor,
+    Element,
+    Inductor,
+    Resistor,
+    StampContext,
+    VoltageSource,
+)
+from repro.circuits.netlist import GROUND, Circuit
+
+__all__ = [
+    "CapacitorBank",
+    "add_lc_ladder",
+    "add_link_interconnect",
+    "rc_ladder_circuit",
+    "rc_grid_circuit",
+]
+
+
+class CapacitorBank(Element):
+    """Many identical-topology shunt capacitors as one vectorised element.
+
+    At system scale the per-step cost of a netlist is dominated by Python
+    element loops, not arithmetic: N shunt capacitors each pay a
+    ``stamp_rhs`` call and an ``accept`` call per time step.  A bank keeps
+    the per-capacitor *matrix* stamps (scalar, once per run, so the sparse
+    backend's COO recorder sees them unchanged) but folds the per-step
+    history currents and the post-step companion updates into single
+    vectorised passes — element-wise identical arithmetic to N separate
+    :class:`~repro.circuits.elements.Capacitor` instances.
+
+    Parameters
+    ----------
+    nodes:
+        The capacitor nodes (each capacitor connects its node to ground).
+    capacitance:
+        Common capacitance, or one value per node.
+    v0:
+        Common initial voltage, or one value per node.
+    """
+
+    stamp_kind = "static"
+
+    def __init__(self, name: str, nodes, capacitance, v0=0.0):
+        nodes = list(nodes)
+        super().__init__(name, tuple(nodes))
+        self.capacitance = np.broadcast_to(
+            np.asarray(capacitance, dtype=float), (len(nodes),)
+        ).copy()
+        if np.any(self.capacitance < 0):
+            raise ValueError("capacitance must be non-negative")
+        self.v0 = np.broadcast_to(np.asarray(v0, dtype=float), (len(nodes),)).copy()
+        self._idx: np.ndarray | None = None
+        self.reset()
+
+    def reset(self) -> None:
+        self._v_prev = self.v0.copy()
+        self._i_prev = np.zeros(len(self.nodes))
+        self._idx = None
+
+    def _indices(self, ctx: StampContext) -> np.ndarray:
+        if self._idx is None:
+            self._idx = np.array(
+                [ctx.compiled.index_of(node) for node in self.nodes], dtype=np.intp
+            )
+        return self._idx
+
+    def _geq(self, ctx: StampContext) -> np.ndarray:
+        scale = 2.0 if ctx.method == "trapezoidal" else 1.0
+        return scale * self.capacitance / ctx.dt
+
+    def _i_hist(self, ctx: StampContext) -> np.ndarray:
+        geq = self._geq(ctx)
+        if ctx.method == "trapezoidal":
+            return -geq * self._v_prev - self._i_prev
+        return -geq * self._v_prev
+
+    def stamp(self, A, rhs, x, ctx: StampContext) -> None:
+        idx = self._indices(ctx)
+        A[idx, idx] += self._geq(ctx)
+        rhs[idx] -= self._i_hist(ctx)
+
+    def stamp_static(self, A, ctx: StampContext) -> None:
+        # Scalar writes on purpose: the sparse backend records matrix
+        # stamps through a scalar COO recorder, and this runs once per run.
+        idx = self._indices(ctx)
+        geq = self._geq(ctx)
+        for k in range(idx.size):
+            A[idx[k], idx[k]] += geq[k]
+
+    def stamp_rhs(self, rhs, ctx: StampContext) -> None:
+        idx = self._indices(ctx)
+        rhs[idx] -= self._i_hist(ctx)
+
+    def accept(self, x, ctx: StampContext) -> None:
+        idx = self._indices(ctx)
+        v_new = x[idx]
+        geq = self._geq(ctx)
+        if ctx.method == "trapezoidal":
+            i_new = geq * (v_new - self._v_prev) - self._i_prev
+        else:
+            i_new = geq * (v_new - self._v_prev)
+        self._v_prev = v_new
+        self._i_prev = i_new
+
+
+def add_lc_ladder(
+    circuit: Circuit,
+    name: str,
+    node_a: str,
+    node_b: str,
+    z0: float,
+    delay: float,
+    segments: int,
+    v_initial: float = 0.0,
+) -> None:
+    """Add an ``segments``-section LC ladder between ``node_a`` and ``node_b``.
+
+    Each section is a series inductor followed by a shunt capacitor to
+    ground; the totals reproduce the line's characteristic impedance
+    ``z0 = sqrt(L_tot/C_tot)`` and one-way delay ``delay = sqrt(L_tot*C_tot)``.
+    ``v_initial`` pre-charges the shunt capacitors (the lumped equivalent
+    of the ideal line's initial steady state; section currents start at 0).
+    """
+    if segments < 1:
+        raise ValueError("segments must be at least 1")
+    if z0 <= 0 or delay <= 0:
+        raise ValueError("z0 and delay must be positive")
+    l_section = z0 * delay / segments
+    c_section = delay / (z0 * segments)
+    prev = node_a
+    for k in range(segments):
+        mid = node_b if k == segments - 1 else f"{name}_n{k + 1}"
+        circuit.add(Inductor(f"{name}_l{k}", prev, mid, l_section))
+        circuit.add(Capacitor(f"{name}_c{k}", mid, GROUND, c_section, v0=v_initial))
+        prev = mid
+
+
+def add_link_interconnect(
+    circuit: Circuit,
+    near: str,
+    far: str,
+    z0: float,
+    delay: float,
+    segments: int,
+    v_initial: float = 0.0,
+) -> None:
+    """The validation link's interconnect, shared by every testbench.
+
+    ``segments == 0`` keeps the paper's ideal method-of-characteristics
+    line; ``segments > 0`` discretises it into an LC ladder of the same
+    impedance/delay (the ``link.segments`` job option).  Always named
+    ``"tl"`` so circuit-engine and sweep testbenches stay interchangeable.
+    """
+    if segments > 0:
+        add_lc_ladder(circuit, "tl", near, far, z0, delay, segments,
+                      v_initial=v_initial)
+    else:
+        from repro.circuits.tline import IdealTransmissionLine
+
+        circuit.add(
+            IdealTransmissionLine(
+                "tl", near, GROUND, far, GROUND, z0, delay, v_initial=v_initial
+            )
+        )
+
+
+def rc_ladder_circuit(
+    n_sections: int,
+    waveform=1.0,
+    r_section: float = 1.0,
+    c_section: float = 10e-15,
+    r_load: float = 500.0,
+) -> tuple[Circuit, str]:
+    """A driven RC ladder with ``n_sections`` series-R / shunt-C sections.
+
+    Returns ``(circuit, probe_node)``; the circuit has roughly
+    ``n_sections + 2`` MNA unknowns and is purely linear, so a transient
+    factors its Jacobian exactly once on every fast backend.  The probe
+    sits a short diffusion depth into the ladder (RC diffusion makes the
+    far end numerically silent over a short transient); the shunt
+    capacitors are one vectorised :class:`CapacitorBank`.
+    """
+    if n_sections < 1:
+        raise ValueError("n_sections must be at least 1")
+    circuit = Circuit(f"rc-ladder-{n_sections}")
+    circuit.add(VoltageSource("vin", "in", GROUND, waveform))
+    prev = "in"
+    cap_nodes = []
+    for k in range(n_sections):
+        node = f"n{k + 1}"
+        circuit.add(Resistor(f"r{k}", prev, node, r_section))
+        cap_nodes.append(node)
+        prev = node
+    circuit.add(CapacitorBank("cbank", cap_nodes, c_section))
+    circuit.add(Resistor("rload", cap_nodes[-1], GROUND, r_load))
+    return circuit, f"n{min(n_sections, 20)}"
+
+
+def rc_grid_circuit(
+    rows: int,
+    cols: int,
+    waveform=1.0,
+    r_link: float = 25.0,
+    c_node: float = 20e-15,
+    r_load: float = 1e3,
+) -> tuple[Circuit, str]:
+    """A driven 2-D RC mesh (``rows x cols`` nodes, nearest-neighbour R).
+
+    A power-grid-like workload whose Jacobian has 2-D (pentadiagonal-ish)
+    structure — the fill-in-sensitive counterpart to the banded ladder.
+    Returns ``(circuit, probe_node)`` with the source at node (0, 0), the
+    load at the opposite corner and the probe one diagonal step in from
+    the source; roughly ``rows * cols`` MNA unknowns, shunt capacitance
+    as one vectorised :class:`CapacitorBank`.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("the grid needs at least 2x2 nodes")
+    circuit = Circuit(f"rc-grid-{rows}x{cols}")
+
+    def node(i: int, j: int) -> str:
+        return f"g{i}_{j}"
+
+    circuit.add(VoltageSource("vin", "in", GROUND, waveform))
+    circuit.add(Resistor("rdrive", "in", node(0, 0), r_link))
+    cap_nodes = []
+    for i in range(rows):
+        for j in range(cols):
+            cap_nodes.append(node(i, j))
+            if j + 1 < cols:
+                circuit.add(Resistor(f"rh{i}_{j}", node(i, j), node(i, j + 1), r_link))
+            if i + 1 < rows:
+                circuit.add(Resistor(f"rv{i}_{j}", node(i, j), node(i + 1, j), r_link))
+    circuit.add(CapacitorBank("cbank", cap_nodes, c_node))
+    circuit.add(Resistor("rload", node(rows - 1, cols - 1), GROUND, r_load))
+    return circuit, node(1, 1)

@@ -20,10 +20,10 @@ import numpy as np
 
 from repro.circuits.devices import add_cmos_driver, add_cmos_receiver
 from repro.circuits.elements import Capacitor, Resistor, VoltageSource
+from repro.circuits.ladder import add_link_interconnect
 from repro.circuits.netlist import GROUND, Circuit
 from repro.circuits.rbf_element import MacromodelElement
-from repro.circuits.tline import IdealTransmissionLine
-from repro.circuits.transient import TransientSolver
+from repro.circuits.transient import TransientOptions, TransientSolver
 from repro.core.cosim import LinkDescription, SimulationResult
 from repro.macromodel.driver import DriverMacromodel, LogicStimulus
 from repro.macromodel.library import ReferenceDeviceParameters
@@ -64,6 +64,16 @@ def _add_far_end_load(
         circuit.add(MacromodelElement("rx", far_node, GROUND, receiver_model, dt))
 
 
+def _add_interconnect(
+    circuit: Circuit, link: LinkDescription, near: str, far: str, v_initial: float = 0.0
+) -> None:
+    """The link's interconnect: ideal MoC line, or an LC ladder when
+    ``link.segments > 0`` (the system-scale sparse-backend workload)."""
+    add_link_interconnect(
+        circuit, near, far, link.z0, link.delay, link.segments, v_initial=v_initial
+    )
+
+
 def _link_result(
     times: np.ndarray,
     near: np.ndarray,
@@ -71,17 +81,23 @@ def _link_result(
     engine: str,
     iterations: np.ndarray,
     wall_time: float,
+    solver_stats: dict | None = None,
 ) -> SimulationResult:
+    metadata = {
+        "mean_newton_iterations": float(np.mean(iterations[1:])) if len(iterations) > 1 else 0.0,
+        "max_newton_iterations": int(np.max(iterations)),
+        "wall_time": wall_time,
+        "dt": float(times[1] - times[0]) if len(times) > 1 else 0.0,
+    }
+    if solver_stats:
+        # Assembler/backend counters; the job API lifts these into
+        # Result.perf_stats so `python -m repro run` can report them.
+        metadata["solver_stats"] = dict(solver_stats)
     return SimulationResult(
         times=times,
         voltages={"near_end": near, "far_end": far},
         engine=engine,
-        metadata={
-            "mean_newton_iterations": float(np.mean(iterations[1:])) if len(iterations) > 1 else 0.0,
-            "max_newton_iterations": int(np.max(iterations)),
-            "wall_time": wall_time,
-            "dt": float(times[1] - times[0]) if len(times) > 1 else 0.0,
-        },
+        metadata=metadata,
     )
 
 
@@ -90,6 +106,7 @@ def run_link_transistor(
     params: ReferenceDeviceParameters | None = None,
     dt: float = 5e-12,
     settle: float = 2e-9,
+    options: TransientOptions | None = None,
 ) -> SimulationResult:
     """The paper's "SPICE (reference)" engine: transistor-level devices, ideal TL.
 
@@ -110,12 +127,10 @@ def run_link_transistor(
     )
     circuit = Circuit("link-transistor")
     add_cmos_driver(circuit, "drv", "near", stimulus, params)
-    circuit.add(
-        IdealTransmissionLine("tl", "near", GROUND, "far", GROUND, link.z0, link.delay)
-    )
+    _add_interconnect(circuit, link, "near", "far")
     _add_far_end_load(circuit, link, "far", None, dt, True, params)
 
-    solver = TransientSolver(circuit, dt)
+    solver = TransientSolver(circuit, dt, options=options)
     result = solver.run(link.duration + settle, record_nodes=["near", "far"])
     start = int(round(settle / dt))
     return _link_result(
@@ -125,6 +140,7 @@ def run_link_transistor(
         "spice-transistor",
         result.newton_iterations,
         result.wall_time,
+        solver_stats=solver.perf_stats,
     )
 
 
@@ -134,8 +150,14 @@ def run_link_rbf(
     receiver_model: ReceiverMacromodel | None = None,
     dt: float = 5e-12,
     params: ReferenceDeviceParameters | None = None,
+    options: TransientOptions | None = None,
 ) -> SimulationResult:
-    """The paper's "SPICE (RBF model)" engine: macromodels, ideal TL."""
+    """The paper's "SPICE (RBF model)" engine: macromodels, ideal TL.
+
+    With ``link.segments > 0`` the ideal line becomes a lumped LC ladder
+    of the same impedance/delay; ``options`` selects solver settings such
+    as the sparse linear-solver backend those large links call for.
+    """
     params = params or ReferenceDeviceParameters()
     stimulus = LogicStimulus.from_pattern(link.bit_pattern, link.bit_time)
     bound_driver = driver_model.bound(stimulus)
@@ -143,14 +165,10 @@ def run_link_rbf(
 
     circuit = Circuit("link-rbf")
     circuit.add(MacromodelElement("drv", "near", GROUND, bound_driver, dt, v0=v0))
-    circuit.add(
-        IdealTransmissionLine(
-            "tl", "near", GROUND, "far", GROUND, link.z0, link.delay, v_initial=v0
-        )
-    )
+    _add_interconnect(circuit, link, "near", "far", v_initial=v0)
     _add_far_end_load(circuit, link, "far", receiver_model, dt, False, params)
 
-    solver = TransientSolver(circuit, dt)
+    solver = TransientSolver(circuit, dt, options=options)
     result = solver.run(link.duration, record_nodes=["near", "far"])
     return _link_result(
         result.times,
@@ -159,6 +177,7 @@ def run_link_rbf(
         "spice-rbf",
         result.newton_iterations,
         result.wall_time,
+        solver_stats=solver.perf_stats,
     )
 
 

@@ -30,6 +30,7 @@ import numpy as np
 from repro import perf
 from repro.circuits.elements import Element, StampContext
 from repro.circuits.netlist import Circuit, CompiledCircuit, GROUND
+from repro.perf.backends import BACKEND_NAMES
 from repro.perf.mna import FastPathAssembler, SharedStaticContext
 
 __all__ = ["TransientOptions", "CircuitResult", "TransientRun", "TransientSolver"]
@@ -59,6 +60,12 @@ class TransientOptions:
         Use the fast assembly path of :mod:`repro.perf.mna`.  ``None``
         (default) follows :func:`repro.perf.fastpath_default`; ``False``
         selects the naive reference path.
+    backend:
+        Linear-solver backend of the fast path (see
+        :mod:`repro.perf.backends`): ``"dense"``, ``"sparse"``, or
+        ``None``/``"auto"`` to pick dense at paper scale and sparse above
+        :func:`~repro.perf.backends.sparse_threshold` unknowns.  Ignored
+        by the reference path.
     """
 
     method: str = "trapezoidal"
@@ -68,10 +75,15 @@ class TransientOptions:
     gmin: float = 1e-12
     max_delta_v: float = 1.0
     fast: bool | None = None
+    backend: str | None = None
 
     def __post_init__(self):
         if self.method not in ("trapezoidal", "backward_euler"):
             raise ValueError("method must be 'trapezoidal' or 'backward_euler'")
+        if self.backend is not None and self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES} (or None), got {self.backend!r}"
+            )
 
 
 @dataclasses.dataclass
@@ -217,6 +229,7 @@ class TransientSolver:
             run.assembler = FastPathAssembler(
                 self.circuit, compiled, self.dt, self.options.method,
                 self.options.gmin, shared=self.shared_static,
+                backend=self.options.backend,
             )
             run.assembler.begin_run()
             self.perf_stats = run.assembler.stats

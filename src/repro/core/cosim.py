@@ -144,6 +144,13 @@ class LinkDescription:
         ``"receiver"`` for the RBF receiver of Figure 5.
     load_resistance, load_capacitance:
         Parameters of the RC load (ignored for the receiver load).
+    segments:
+        Interconnect discretisation of the circuit-level engines: 0 (the
+        default) keeps the paper's ideal method-of-characteristics line;
+        ``N > 0`` replaces it with an ``N``-section lumped LC ladder of the
+        same ``z0``/``delay`` (:func:`repro.circuits.ladder.add_lc_ladder`)
+        — ~2N extra MNA unknowns, the system-scale workload of the sparse
+        solver backend.  The field engines ignore it.
     """
 
     z0: float = 131.0
@@ -154,12 +161,15 @@ class LinkDescription:
     load: str = "rc"
     load_resistance: float = 500.0
     load_capacitance: float = 1e-12
+    segments: int = 0
 
     def __post_init__(self):
         if self.load not in ("rc", "receiver"):
             raise ValueError("load must be 'rc' or 'receiver'")
         if self.z0 <= 0 or self.delay <= 0 or self.bit_time <= 0 or self.duration <= 0:
             raise ValueError("z0, delay, bit_time and duration must be positive")
+        if not isinstance(self.segments, int) or self.segments < 0:
+            raise ValueError("segments must be a non-negative integer")
 
     @classmethod
     def paper_figure4(cls) -> "LinkDescription":

@@ -11,21 +11,26 @@ This module splits that work by how often it actually changes:
 * **once per run** — the matrix stamps of all ``stamp_kind == "static"``
   elements (resistors, capacitor/inductor companions, source incidence
   rows, transmission-line characteristic rows) plus the vectorised ``gmin``
-  diagonal are assembled into a preallocated ``A_static``;
+  diagonal;
 * **once per time step** — the x-independent RHS (source values at ``t``,
   companion-model history currents, line history voltages) is assembled
   into a preallocated ``rhs_static`` via ``stamp_rhs``;
 * **once per Newton iteration** — only the nonlinear ("dynamic") elements
-  are re-stamped, on top of an ``np.copyto`` of the cached static parts,
-  using their index-cached ``stamp_fast`` when available.
+  are re-stamped on top of the cached static parts, using their
+  index-cached ``stamp_fast`` when available.
 
-When the circuit contains no dynamic elements the Jacobian is constant for
-the whole transient, so it is LU-factorised exactly once (dense
-``scipy.linalg.lu_factor`` below :data:`SPARSE_THRESHOLD` unknowns, sparse
-``splu`` above it) and every subsequent solve reuses the factors.  Without
-scipy the assembler falls back to a dense solve per iteration, which is
-still correct.  :attr:`FastPathAssembler.stats` counts factorizations and
-cached solves so tests can assert the cache is actually hit.
+*How* the matrix is stored, re-stamped and solved is delegated to a
+pluggable :class:`~repro.perf.backends.LinearSolverBackend`: the dense
+LAPACK backend (preallocated ``(n, n)`` arrays, ``dgesv``, cached
+``lu_factor`` — purely linear circuits factor exactly once per transient)
+or the sparse-CSC backend (COO-recorded stamps, cached sparsity pattern,
+``splu``) selected automatically above
+:func:`~repro.perf.backends.sparse_threshold` unknowns or explicitly via
+``TransientOptions.backend`` / the ``engine.sparse_mna`` job option.
+Without scipy the assembler falls back to a dense solve per iteration,
+which is still correct.  :attr:`FastPathAssembler.stats` counts
+factorizations, cached solves, sparse pattern reuses and symbolic
+factorizations so tests can assert the caches are actually hit.
 """
 
 from __future__ import annotations
@@ -34,30 +39,21 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-try:  # scipy is optional: the fast path degrades gracefully without it
-    from scipy.linalg import lu_factor as _lu_factor, lu_solve as _lu_solve
-    from scipy.linalg.lapack import dgesv as _dgesv
-except ImportError:  # pragma: no cover - exercised only on scipy-less installs
-    _lu_factor = None
-    _lu_solve = None
-    _dgesv = None
-
-try:
-    from scipy.sparse import csc_matrix as _csc_matrix
-    from scipy.sparse.linalg import splu as _splu
-except ImportError:  # pragma: no cover
-    _csc_matrix = None
-    _splu = None
-
 from repro.circuits.elements import StampContext
+from repro.perf.backends import (
+    SPARSE_THRESHOLD,
+    make_backend,
+    sparse_threshold,
+    _lu_factor,
+    _lu_solve,
+    _splu,
+    _csc_matrix,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.circuits.netlist import Circuit, CompiledCircuit
 
 __all__ = ["FastPathAssembler", "SharedStaticContext", "SPARSE_THRESHOLD"]
-
-#: above this many unknowns a constant Jacobian is factorised sparsely
-SPARSE_THRESHOLD = 256
 
 
 class SharedStaticContext:
@@ -70,18 +66,28 @@ class SharedStaticContext:
     passed to several :class:`FastPathAssembler` instances lets the first
     run assemble and factor, and every later run reuse the result.
 
+    Depending on the solver backend the captured state is the dense static
+    matrix (``A_static`` + ``lu``) or the sparse one (``sparse_state`` — the
+    static COO triplets and their CSC compression — + ``sparse_lu``); the
+    backend name is part of the compatibility signature, so one context is
+    never shared across backends.
+
     The caller guarantees that all sharing circuits produce identical static
     stamps (same topology, same element values, same ``dt``/``method``/
     ``gmin``); the context verifies only a cheap signature (unknown count,
-    time step, method, gmin) and raises on mismatch.
+    time step, method, gmin, backend) and raises on mismatch.
     """
 
     def __init__(self):
         self.A_static: np.ndarray | None = None
         self.lu = None
         self.sparse_lu = None
+        #: sparse-backend capture: (rows, cols, vals, csc_static)
+        self.sparse_state: tuple | None = None
         self.signature: tuple | None = None
         self.stats = {"factorizations": 0, "static_reuses": 0, "block_solves": 0}
+        self._factorization_failed = False
+        self._dense_cache: np.ndarray | None = None
 
     def _check_signature(self, signature: tuple) -> None:
         if self.signature is None:
@@ -100,17 +106,34 @@ class SharedStaticContext:
         scenarios of a step in one block solve without going through a
         per-assembler :meth:`FastPathAssembler.solve`.
         """
-        if self.A_static is None:
+        if self.A_static is None and self.sparse_state is None:
             raise RuntimeError("no static matrix captured yet")
-        if self.lu is not None or self.sparse_lu is not None:
+        if self.lu is not None or self.sparse_lu is not None or self._factorization_failed:
             return
-        if _lu_factor is None:
+        if self.sparse_state is not None:
+            try:
+                self.sparse_lu = _splu(self.sparse_state[3])
+            except RuntimeError:
+                # Singular static matrix: remember the failure so per-step
+                # solve_block calls do not retry the factorization, and let
+                # the dense lstsq fallback below handle the solves.
+                self._factorization_failed = True
+                return
+        elif _lu_factor is None:
             return  # scipy-less fallback: solve_block uses dense solves
-        if self.A_static.shape[0] > SPARSE_THRESHOLD and _splu is not None:
+        elif self.A_static.shape[0] > sparse_threshold() and _splu is not None:
             self.sparse_lu = _splu(_csc_matrix(self.A_static))
         else:
             self.lu = _lu_factor(self.A_static, check_finite=False)
         self.stats["factorizations"] += 1
+
+    def _dense_static(self) -> np.ndarray:
+        """The captured static matrix as a dense array (robust fallback)."""
+        if self.A_static is not None:
+            return self.A_static
+        if self._dense_cache is None:
+            self._dense_cache = self.sparse_state[3].toarray()
+        return self._dense_cache
 
     def solve_block(self, rhs_block: np.ndarray) -> np.ndarray:
         """Solve ``A_static X = rhs_block`` for a whole ``(n, M)`` block."""
@@ -121,12 +144,16 @@ class SharedStaticContext:
         elif self.lu is not None:
             x = _lu_solve(self.lu, rhs_block, check_finite=False)
         else:
-            x = np.linalg.solve(self.A_static, rhs_block)
+            try:
+                x = np.linalg.solve(self._dense_static(), rhs_block)
+            except np.linalg.LinAlgError:  # exactly singular: robust path below
+                x = np.full_like(rhs_block, np.nan)
         if not np.all(np.isfinite(x)):
             # Singular/ill-posed system: per-column robust fallback.
+            dense = self._dense_static()
             x = np.stack(
                 [
-                    np.linalg.lstsq(self.A_static, rhs_block[:, k], rcond=None)[0]
+                    np.linalg.lstsq(dense, rhs_block[:, k], rcond=None)[0]
                     for k in range(rhs_block.shape[1])
                 ],
                 axis=1,
@@ -144,6 +171,12 @@ class FastPathAssembler:
     dt, method, gmin:
         Time step, integration method and node-to-ground conductance of the
         run (fixed for the assembler's lifetime).
+    shared:
+        Optional :class:`SharedStaticContext` for sweep batches.
+    backend:
+        Linear-solver backend: ``"dense"``, ``"sparse"`` or ``None``/
+        ``"auto"`` (dense at paper scale, sparse above
+        :func:`~repro.perf.backends.sparse_threshold` unknowns).
     """
 
     def __init__(
@@ -154,6 +187,7 @@ class FastPathAssembler:
         method: str,
         gmin: float,
         shared: SharedStaticContext | None = None,
+        backend: str | None = None,
     ):
         self.circuit = circuit
         self.compiled = compiled
@@ -175,13 +209,8 @@ class FastPathAssembler:
         self.linear_only = not self.dynamic_stamps
 
         n = compiled.n_unknowns
-        self._A_static = np.zeros((n, n))
         self._rhs_static = np.zeros(n)
-        self._A = np.zeros((n, n))
         self._rhs = np.zeros(n)
-        self._A_solve = np.zeros((n, n))  # scratch clobbered by in-place LAPACK
-        self._lu = None
-        self._sparse_lu = None
         self.stats = {
             "mode": "fast",
             "linear_only": self.linear_only,
@@ -189,6 +218,8 @@ class FastPathAssembler:
             "cached_solves": 0,
             "dense_solves": 0,
         }
+        self.backend = make_backend(backend, self)
+        self.stats["backend"] = self.backend.name
 
     # -- assembly ---------------------------------------------------------
     def begin_run(self) -> None:
@@ -202,30 +233,19 @@ class FastPathAssembler:
         shared = self._shared
         if shared is not None:
             shared._check_signature(
-                (self.compiled.n_unknowns, self.dt, self.method, self.gmin)
+                (self.compiled.n_unknowns, self.dt, self.method, self.gmin,
+                 self.backend.name)
             )
-            if shared.A_static is not None:
-                self._A_static = shared.A_static
-                self._lu = shared.lu
-                self._sparse_lu = shared.sparse_lu
+            if self.backend.adopt_shared(shared):
                 shared.stats["static_reuses"] += 1
                 self.stats["static_reused"] = True
                 for element, _ in self.dynamic_stamps:
                     element.prepare_fast(self.compiled)
                 return
         ctx = StampContext(self.compiled, self.dt, 0.0, self.method)
-        A = self._A_static
-        A[:] = 0.0
-        for element in self.static_elements:
-            element.stamp_static(A, ctx)
-        diag = self.compiled.node_diagonal
-        A[diag, diag] += self.gmin
+        self.backend.assemble_static(ctx, shared)
         for element, _ in self.dynamic_stamps:
             element.prepare_fast(self.compiled)
-        self._lu = None
-        self._sparse_lu = None
-        if shared is not None:
-            shared.A_static = A
 
     def begin_step(self, t: float) -> StampContext:
         """Assemble the per-step static RHS and return the step context."""
@@ -241,70 +261,21 @@ class FastPathAssembler:
         """The per-step x-independent RHS assembled by :meth:`begin_step`."""
         return self._rhs_static
 
-    def iterate(self, x: np.ndarray, ctx: StampContext) -> tuple[np.ndarray, np.ndarray]:
-        """Assemble the full system for one Newton iteration around ``x``."""
+    def iterate(self, x: np.ndarray, ctx: StampContext) -> tuple[object, np.ndarray]:
+        """Assemble the full system for one Newton iteration around ``x``.
+
+        Returns ``(A, rhs)`` where ``A`` is the backend's matrix token (a
+        dense array or a CSC matrix) accepted by :meth:`solve`.
+        """
         if self.linear_only:
             # The static parts ARE the system; no per-iteration copy needed.
-            return self._A_static, self._rhs_static
-        np.copyto(self._A, self._A_static)
-        np.copyto(self._rhs, self._rhs_static)
-        A, rhs = self._A, self._rhs
-        for stamp in self._dynamic_fns:
-            stamp(A, rhs, x, ctx)
+            return self.backend.static_system(), self._rhs_static
+        rhs = self._rhs
+        np.copyto(rhs, self._rhs_static)
+        A = self.backend.iterate(x, ctx, rhs)
         return A, rhs
 
     # -- solves -----------------------------------------------------------
-    def solve(self, A: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    def solve(self, A, rhs: np.ndarray) -> np.ndarray:
         """Solve ``A x = rhs``, reusing the cached factorization when valid."""
-        if self.linear_only and _lu_factor is not None:
-            if self._lu is None and self._sparse_lu is None and self._shared is not None:
-                # A sharing run may have factored after our begin_run (e.g.
-                # the linear members of a mixed linear/nonlinear group):
-                # pick the factors up lazily instead of refactoring.
-                self._lu = self._shared.lu
-                self._sparse_lu = self._shared.sparse_lu
-            if A.shape[0] > SPARSE_THRESHOLD and _splu is not None:
-                if self._sparse_lu is None:
-                    self._sparse_lu = _splu(_csc_matrix(A))
-                    self.stats["factorizations"] += 1
-                    if self._shared is not None:
-                        self._shared.sparse_lu = self._sparse_lu
-                        self._shared.stats["factorizations"] += 1
-                else:
-                    self.stats["cached_solves"] += 1
-                x = self._sparse_lu.solve(rhs)
-            else:
-                if self._lu is None:
-                    self._lu = _lu_factor(A, check_finite=False)
-                    self.stats["factorizations"] += 1
-                    if self._shared is not None:
-                        self._shared.lu = self._lu
-                        self._shared.stats["factorizations"] += 1
-                else:
-                    self.stats["cached_solves"] += 1
-                x = _lu_solve(self._lu, rhs, check_finite=False)
-            if np.all(np.isfinite(x)):
-                return x
-            # Singular / ill-posed system: fall through to the robust path.
-            self._lu = None
-            self._sparse_lu = None
-            if self._shared is not None:
-                self._shared.lu = None
-                self._shared.sparse_lu = None
-        self.stats["dense_solves"] += 1
-        if not self.linear_only:
-            self.stats["factorizations"] += 1
-        if _dgesv is not None:
-            # Raw LAPACK gesv: same factorization as np.linalg.solve (the
-            # results are bit-identical) without the wrapper overhead, which
-            # is significant at typical circuit sizes.  ``A`` stays intact
-            # for the singular-case fallback below.
-            np.copyto(self._A_solve, A)
-            _, _, x, info = _dgesv(self._A_solve, rhs, overwrite_a=1, overwrite_b=0)
-            if info == 0:
-                return x
-            return np.linalg.lstsq(A, rhs, rcond=None)[0]
-        try:
-            return np.linalg.solve(A, rhs)
-        except np.linalg.LinAlgError:
-            return np.linalg.lstsq(A, rhs, rcond=None)[0]
+        return self.backend.solve(A, rhs)

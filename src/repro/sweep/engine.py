@@ -38,7 +38,7 @@ from repro import perf
 from repro.circuits.netlist import Circuit
 from repro.circuits.transient import TransientOptions, TransientSolver
 from repro.perf.mna import SharedStaticContext
-from repro.perf.rbf_fast import batch_key, prewarm_ports
+from repro.perf.rbf_fast import BatchedPrepare, batch_key, prewarm_ports
 from repro.sweep.result import SweepResult
 from repro.sweep.scenario import Scenario
 
@@ -70,9 +70,15 @@ class CircuitSweep:
     record_nodes, record_branches:
         Forwarded to :meth:`repro.circuits.transient.TransientSolver.begin`.
     options:
-        Transient solver options shared by every scenario.
+        Transient solver options shared by every scenario (including the
+        linear-solver ``backend`` of the fast MNA path).
     initial_voltages:
         Optional ``initial_voltages(scenario) -> dict | None`` hook.
+    batch_prepare:
+        Fold the per-step RBF regressor preparation of all lockstep
+        scenarios in one stacked pass per step
+        (:class:`repro.perf.rbf_fast.BatchedPrepare`); spec-addressable as
+        the ``engine.batch_prepare`` job option.  Fast path only.
     """
 
     def __init__(
@@ -85,6 +91,7 @@ class CircuitSweep:
         record_branches: Optional[Sequence[tuple[str, int]]] = None,
         options: TransientOptions | None = None,
         initial_voltages: Optional[Callable[[Scenario], Optional[Dict[str, float]]]] = None,
+        batch_prepare: bool = False,
     ):
         scenarios = list(scenarios)
         if not scenarios:
@@ -100,6 +107,7 @@ class CircuitSweep:
         self.record_branches = list(record_branches) if record_branches is not None else None
         self.options = options or TransientOptions()
         self.initial_voltages = initial_voltages
+        self.batch_prepare = bool(batch_prepare)
 
     # -- sequential oracle -------------------------------------------------
     def run_sequential(self) -> SweepResult:
@@ -208,10 +216,13 @@ class CircuitSweep:
             ),
             "batched_port_groups": len(port_groups),
             "batched_rbf_evals": 0,
+            "batched_prepare_folds": 0,
+            "batched_prepare_scenarios": 0,
             "shared_factorizations": 0,
             "static_reuses": 0,
             "block_solves": 0,
         }
+        prepare_batcher = BatchedPrepare() if (fast and self.batch_prepare) else None
 
         cap = self.options.max_newton_iterations
         rhs_blocks = [
@@ -238,7 +249,9 @@ class CircuitSweep:
                         continue
                     ports = [el.port for _, el in live]
                     vs = [_port_voltage(runs[idx].x, el._fast_idx) for idx, el in live]
-                    if prewarm_ports(ports, vs, runs[live[0][0]].t):
+                    if prewarm_ports(
+                        ports, vs, runs[live[0][0]].t, batch_prepare=prepare_batcher
+                    ):
                         stats["batched_rbf_evals"] += len(live)
                 for i in tuple(active):
                     solver, run = solvers[i], runs[i]
@@ -263,6 +276,11 @@ class CircuitSweep:
             stats["block_solves"] = sum(
                 ctx.stats["block_solves"] for ctx in contexts.values()
             )
+            if prepare_batcher is not None:
+                stats["batched_prepare_folds"] = prepare_batcher.stats["batched_folds"]
+                stats["batched_prepare_scenarios"] = (
+                    prepare_batcher.stats["folded_scenarios"]
+                )
             stats["per_scenario"] = {
                 scenario.name: solver.perf_stats
                 for scenario, solver in zip(self.scenarios, solvers)

@@ -23,9 +23,9 @@ import dataclasses
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.circuits.elements import Capacitor, Resistor, VoltageSource
+from repro.circuits.ladder import add_link_interconnect
 from repro.circuits.netlist import GROUND, Circuit
 from repro.circuits.rbf_element import MacromodelElement
-from repro.circuits.tline import IdealTransmissionLine
 from repro.circuits.transient import TransientOptions
 from repro.macromodel.driver import DriverMacromodel, LogicStimulus
 from repro.macromodel.receiver import ReceiverMacromodel
@@ -36,9 +36,22 @@ from repro.waveforms.signals import BitPattern
 __all__ = ["LinearLinkSpec", "RBFLinkSpec", "linear_link_sweep", "rbf_link_sweep"]
 
 
+def _add_sweep_interconnect(
+    circuit: Circuit, z0: float, delay: float, segments: int, v_initial: float = 0.0
+) -> None:
+    """Ideal MoC line, or an LC ladder when the link spec asks for one."""
+    add_link_interconnect(circuit, "near", "far", z0, delay, segments,
+                          v_initial=v_initial)
+
+
 @dataclasses.dataclass(frozen=True)
 class LinearLinkSpec:
-    """Defaults of the linear link testbench (per-scenario corners override)."""
+    """Defaults of the linear link testbench (per-scenario corners override).
+
+    ``segments > 0`` replaces the ideal line with an LC ladder of the same
+    impedance/delay (the sparse-backend system-scale workload; mirrors
+    ``link.segments`` of the job spec).
+    """
 
     z0: float = 131.0
     delay: float = 0.4e-9
@@ -49,6 +62,7 @@ class LinearLinkSpec:
     bit_time: float = 2e-9
     edge_time: float = 1e-10
     bit_pattern: str = "010"
+    segments: int = 0
 
     @classmethod
     def from_job_spec(cls, spec) -> "LinearLinkSpec":
@@ -68,6 +82,7 @@ class LinearLinkSpec:
             bit_time=spec.stimulus.bit_time,
             edge_time=spec.stimulus.edge_time,
             bit_pattern=spec.stimulus.bit_pattern,
+            segments=spec.link.segments,
         )
 
     def build(self, scenario: Scenario) -> Circuit:
@@ -85,12 +100,11 @@ class LinearLinkSpec:
         circuit.add(
             Resistor("rs", "src", "near", scenario.corner_value("source_resistance", self.source_resistance))
         )
-        circuit.add(
-            IdealTransmissionLine(
-                "tl", "near", GROUND, "far", GROUND,
-                scenario.corner_value("z0", self.z0),
-                scenario.corner_value("delay", self.delay),
-            )
+        _add_sweep_interconnect(
+            circuit,
+            scenario.corner_value("z0", self.z0),
+            scenario.corner_value("delay", self.delay),
+            self.segments,
         )
         circuit.add(
             Resistor("rload", "far", GROUND, scenario.corner_value("load_resistance", self.load_resistance))
@@ -118,6 +132,7 @@ class RBFLinkSpec:
     vdd: float = 1.8
     bit_time: float = 2e-9
     bit_pattern: str = "010"
+    segments: int = 0
 
     @classmethod
     def from_job_spec(cls, spec) -> "RBFLinkSpec":
@@ -132,6 +147,7 @@ class RBFLinkSpec:
             vdd=float(spec.devices.params.get("vdd", cls.vdd)),
             bit_time=spec.stimulus.bit_time,
             bit_pattern=spec.stimulus.bit_pattern,
+            segments=spec.link.segments,
         )
 
     def pair(self, scenario: Scenario) -> Tuple[DriverMacromodel, ReceiverMacromodel]:
@@ -161,13 +177,12 @@ class RBFLinkSpec:
         v0 = self.vdd if stimulus.initial_state == 1 else 0.0
         circuit = Circuit(f"rbf-link-{scenario.name}")
         circuit.add(MacromodelElement("drv", "near", GROUND, bound, dt, v0=v0))
-        circuit.add(
-            IdealTransmissionLine(
-                "tl", "near", GROUND, "far", GROUND,
-                scenario.corner_value("z0", self.z0),
-                scenario.corner_value("delay", self.delay),
-                v_initial=v0,
-            )
+        _add_sweep_interconnect(
+            circuit,
+            scenario.corner_value("z0", self.z0),
+            scenario.corner_value("delay", self.delay),
+            self.segments,
+            v_initial=v0,
         )
         if "load_resistance" in scenario.corner or "load_capacitance" in scenario.corner:
             circuit.add(
@@ -187,8 +202,13 @@ def linear_link_sweep(
     duration: float = 6e-9,
     spec: LinearLinkSpec | None = None,
     options: TransientOptions | None = None,
+    batch_prepare: bool = False,
 ) -> CircuitSweep:
-    """A sweep over the linear link (shared-LU block-solve path)."""
+    """A sweep over the linear link (shared-LU block-solve path).
+
+    ``batch_prepare`` is accepted for job-spec uniformity; the linear link
+    has no RBF ports, so the batched regressor fold is a no-op here.
+    """
     spec = spec or LinearLinkSpec()
     return CircuitSweep(
         spec.build,
@@ -198,6 +218,7 @@ def linear_link_sweep(
         record_nodes=["near", "far"],
         record_branches=[],
         options=options,
+        batch_prepare=batch_prepare,
     )
 
 
@@ -208,6 +229,7 @@ def rbf_link_sweep(
     duration: float = 6e-9,
     spec: RBFLinkSpec | None = None,
     options: TransientOptions | None = None,
+    batch_prepare: bool = False,
 ) -> CircuitSweep:
     """A sweep over the RBF macromodel link (batched Gaussian evaluation)."""
     spec = dataclasses.replace(spec or RBFLinkSpec(), devices=devices)
@@ -219,4 +241,5 @@ def rbf_link_sweep(
         record_nodes=["near", "far"],
         record_branches=[],
         options=options,
+        batch_prepare=batch_prepare,
     )

@@ -268,18 +268,46 @@ class TestRegistry:
             importlib.reload(engines_mod)
         assert get_engine("circuit").summary != "test shadow"
 
-    def test_reserved_options_are_spec_addressable_but_rejected(self):
-        spec = _make_spec("circuit")
+    def test_formerly_reserved_options_have_registered_backends(self):
+        # PR 4 closed the two reserved ROADMAP items: both flags are now
+        # spec-addressable AND runnable (tests/test_backends.py pins the
+        # equivalence; here we only check the registry wiring).
+        from repro.api.engines import option_backend, supported_engine_options
+
+        supported = supported_engine_options()
+        assert set(supported) == {"sparse_mna", "batch_prepare"}
+        assert "SparseBackend" in option_backend("sparse_mna")
+        assert "BatchedPrepare" in option_backend("batch_prepare")
         import dataclasses
 
+        spec = _make_spec("circuit")
         for flag in ("sparse_mna", "batch_prepare"):
             engine = dataclasses.replace(spec.engine, **{flag: True})
-            reserved = dataclasses.replace(spec, engine=engine)
-            # serialisable today (jobs can already request the backend)...
-            assert spec_from_dict(reserved.to_dict()) == reserved
-            # ...but no registered backend implements it yet.
-            with pytest.raises(NotImplementedError, match=flag):
-                run(reserved)
+            requested = dataclasses.replace(spec, engine=engine)
+            assert spec_from_dict(requested.to_dict()) == requested
+
+    def test_unregistered_backed_option_error_is_self_explanatory(self, monkeypatch):
+        # A build whose backend did not register (e.g. a future reserved
+        # flag) must explain itself: the flag, the backend that would
+        # implement it, and the options that ARE supported.
+        import dataclasses
+
+        import repro.api.engines as engines_mod
+
+        monkeypatch.setitem(engines_mod._OPTION_BACKENDS, "sparse_mna", None)
+        monkeypatch.delitem(engines_mod._OPTION_BACKENDS, "sparse_mna")
+        spec = _make_spec("circuit")
+        engine = dataclasses.replace(spec.engine, sparse_mna=True)
+        requested = dataclasses.replace(spec, engine=engine)
+        with pytest.raises(NotImplementedError) as excinfo:
+            run(requested)
+        message = str(excinfo.value)
+        assert "engine.sparse_mna" in message
+        # the hint names the implementing backend...
+        assert "SparseBackend" in message
+        # ...and the full set of still-supported options is listed.
+        assert "engine.batch_prepare" in message
+        assert "BatchedPrepare" in message
 
 
 class TestResultContainer:

@@ -102,14 +102,30 @@ class TestCIPipeline:
             step.get("run", "") for step in test_job["steps"] if isinstance(step, dict)
         )
         assert "python -m repro run examples/jobs/linear_link.json --quick" in commands
+        assert "python -m repro run examples/jobs/sparse_ladder.json --quick" in commands
         assert "python -m repro list-engines" in commands
-        # the smoke step must actually assert a waveform in the artifact
+        # the smoke steps must actually assert on the artifacts: a waveform
+        # in the linear result, the sparse backend + its single symbolic
+        # factorization in the sparse one
         assert "waveforms" in commands
+        assert "symbolic_factorizations" in commands
         uploads = [
             step for step in test_job["steps"]
             if "upload-artifact" in str(step.get("uses", ""))
         ]
         assert uploads and "linear_link.result.json" in uploads[0]["with"]["path"]
+        assert "sparse_ladder.result.json" in uploads[0]["with"]["path"]
+
+    def test_quick_tier_runs_backend_smoke(self, workflow):
+        # The backend-equivalence suite runs as its own named step on both
+        # python versions (the matrix covers them).
+        test_job = workflow["jobs"]["test"]
+        commands = [
+            step.get("run", "") for step in test_job["steps"] if isinstance(step, dict)
+        ]
+        assert any(
+            "-k backend" in command and 'not slow' in command for command in commands
+        )
 
     def test_nightly_runs_slow_tier_and_perf_smoke(self, workflow):
         nightly = workflow["jobs"]["nightly-full"]
@@ -118,8 +134,10 @@ class TestCIPipeline:
         )
         assert "bench_perf_report.py" in commands and "--min-speedup 1.0" in commands
         assert "bench_sweep.py" in commands
+        assert "bench_sparse.py --quick" in commands
         uploads = [step for step in nightly["steps"] if "upload-artifact" in str(step.get("uses", ""))]
         assert uploads and "BENCH_perf.json" in uploads[0]["with"]["path"]
+        assert "BENCH_sparse.json" in uploads[0]["with"]["path"]
 
     def test_triggers_include_pushes_prs_and_schedule(self, workflow):
         # pyyaml parses the bare `on:` key as boolean True (YAML 1.1).
