@@ -20,7 +20,11 @@ Gates: the sparse backend must beat the dense backend by at least
 each linear transient must report exactly one symbolic factorization and
 one numeric factorization in ``perf_stats``, sparse and dense waveforms
 must agree to <= 1e-12 relative, and the auto backend selection must keep
-dense the default (and the faster choice) at paper scale.
+dense the default (and the faster choice) at paper scale.  The element-bank
+gate (PR 5) additionally requires the bank-compacted transient to beat
+scalar stamping by >= ``--min-speedup`` at >= 2500 unknowns with identical
+waveforms — the per-step Python element loops were the ceiling once the
+sparse solve got cheap.
 
 Writes ``BENCH_sparse.json``.  Run as a script:
 
@@ -63,9 +67,11 @@ def _build(workload: str, size: int):
     raise ValueError(f"unknown workload {workload!r}")
 
 
-def _run(circuit, probe: str, dt: float, duration: float, backend: str):
+def _run(circuit, probe: str, dt: float, duration: float, backend: str,
+         compact_banks: bool | None = None):
     solver = TransientSolver(
-        circuit, dt, options=TransientOptions(backend=backend)
+        circuit, dt,
+        options=TransientOptions(backend=backend, compact_banks=compact_banks),
     )
     t0 = time.perf_counter()
     result = solver.run(duration, record_nodes=[probe], record_branches=[])
@@ -111,6 +117,66 @@ def bench_workload(
         f"sparse {walls['sparse']*1e3:8.1f} ms   speedup {entry['sparse_speedup']:6.2f}x   "
         f"rel err {rel_err:.2e}   symbolic factorizations "
         f"{entry['symbolic_factorizations']}"
+    )
+    return entry
+
+
+def bench_banked(size: int, dt: float, duration: float, trials: int) -> dict:
+    """Bank-compacted vs scalar element stamping on the RC ladder (PR 5).
+
+    Both runs use the sparse backend on the *same scalar netlist*
+    (``banked=False``): the "scalar" run opts out of bank compaction, the
+    "banked" run lets the run-start compaction pass group the elements —
+    exactly the win an unedited netlist gets.  A third timing covers the
+    generator's native banks.
+    """
+    n_unknowns = rc_ladder_circuit(size, banked=False)[0].compile().n_unknowns
+    waves, walls, stats = {}, {}, {}
+    modes = {
+        "scalar": dict(banked=False, compact_banks=False),
+        "banked": dict(banked=False, compact_banks=True),
+        "native": dict(banked=True, compact_banks=None),
+    }
+    for mode, cfg in modes.items():
+        best = None
+        for _ in range(trials):
+            circuit, probe = rc_ladder_circuit(
+                size, waveform=_stimulus(), banked=cfg["banked"]
+            )
+            result, wall, perf_stats = _run(
+                circuit, probe, dt, duration, "sparse",
+                compact_banks=cfg["compact_banks"],
+            )
+            best = wall if best is None else min(best, wall)
+        waves[mode] = result.voltage(probe)
+        walls[mode] = best
+        stats[mode] = perf_stats
+    scale = max(float(np.max(np.abs(waves["scalar"]))), 1e-30)
+    entry = {
+        "workload": "ladder-banked",
+        "size": size,
+        "n_unknowns": int(n_unknowns),
+        "steps": int(round(duration / dt)),
+        "scalar_s": round(walls["scalar"], 5),
+        "banked_s": round(walls["banked"], 5),
+        "native_s": round(walls["native"], 5),
+        "banked_speedup": round(walls["scalar"] / walls["banked"], 3),
+        "native_speedup": round(walls["scalar"] / walls["native"], 3),
+        "rel_error_banked_vs_scalar": float(
+            np.max(np.abs(waves["banked"] - waves["scalar"]))
+        ) / scale,
+        "rel_error_native_vs_scalar": float(
+            np.max(np.abs(waves["native"] - waves["scalar"]))
+        ) / scale,
+        "banked_elements": stats["banked"]["banked_elements"],
+        "scalar_accept_calls": stats["scalar"]["accept_calls"],
+        "banked_accept_calls": stats["banked"]["accept_calls"],
+    }
+    print(
+        f"banks   n={n_unknowns:5d}  scalar {walls['scalar']*1e3:8.1f} ms   "
+        f"banked {walls['banked']*1e3:8.1f} ms   speedup "
+        f"{entry['banked_speedup']:6.2f}x   native {entry['native_speedup']:6.2f}x   "
+        f"accepts {entry['scalar_accept_calls']} -> {entry['banked_accept_calls']}"
     )
     return entry
 
@@ -182,15 +248,21 @@ def main(argv=None) -> int:
         cases = [("ladder", 1100), ("mesh", 33)]
         dt, duration = 1e-11, 2e-9
         trials = max(1, min(args.trials, 2))
+        banked_duration = 1e-9
     else:
         cases = [("ladder", 1100), ("ladder", 2500), ("mesh", 40)]
         dt, duration = 1e-11, 4e-9
         trials = args.trials
+        banked_duration = duration
 
     entries = [
         bench_workload(workload, size, dt, duration, trials)
         for workload, size in cases
     ]
+    # The element-bank gate always runs at the >= 2500-unknown size where
+    # per-element Python bookkeeping dominated (quick mode only shortens
+    # the transient, not the netlist).
+    banked = bench_banked(2500, dt, banked_duration, trials)
     paper = bench_paper_scale(5e-12, 4e-9, trials)
 
     large = [e for e in entries if e["n_unknowns"] >= 1000]
@@ -204,6 +276,10 @@ def main(argv=None) -> int:
         and paper["auto_backend"] == "dense"
         and paper["dense_is_faster"]
         and paper["rel_error_sparse_vs_dense"] <= REL_TOL
+        and banked["banked_speedup"] >= args.min_speedup
+        and banked["rel_error_banked_vs_scalar"] <= REL_TOL
+        and banked["rel_error_native_vs_scalar"] <= REL_TOL
+        and banked["banked_elements"] > 0
     )
 
     report = {
@@ -211,9 +287,11 @@ def main(argv=None) -> int:
         "trials": trials,
         "numpy": np.__version__,
         "workloads": entries,
+        "banked": banked,
         "paper_scale": paper,
         "targets": {
             "sparse_speedup_at_1000_unknowns": args.min_speedup,
+            "banked_speedup_at_2500_unknowns": args.min_speedup,
             "rel_error": REL_TOL,
             "symbolic_factorizations_per_linear_transient": 1,
         },

@@ -100,6 +100,7 @@ def _cmd_run(path: str, quick: bool, output: str | None) -> int:
         "backend", "factorizations", "sparse_factorizations",
         "symbolic_factorizations", "pattern_reuses",
         "batched_prepare_folds", "batched_prepare_scenarios",
+        "banked_elements", "accept_calls",
     )
     stats = {k: result.perf_stats[k] for k in interesting if k in result.perf_stats}
     if stats:

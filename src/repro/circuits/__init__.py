@@ -26,10 +26,16 @@ the required subset from scratch:
 from repro.circuits.netlist import Circuit, GROUND
 from repro.circuits.elements import (
     Capacitor,
+    CapacitorBank,
     CurrentSource,
+    CurrentSourceBank,
+    ElementBank,
     Inductor,
+    InductorBank,
     Resistor,
+    ResistorBank,
     VoltageSource,
+    VoltageSourceBank,
 )
 from repro.circuits.diode import Diode
 from repro.circuits.mosfet import Mosfet
@@ -51,6 +57,12 @@ __all__ = [
     "Inductor",
     "VoltageSource",
     "CurrentSource",
+    "ElementBank",
+    "ResistorBank",
+    "CapacitorBank",
+    "InductorBank",
+    "VoltageSourceBank",
+    "CurrentSourceBank",
     "Diode",
     "Mosfet",
     "IdealTransmissionLine",

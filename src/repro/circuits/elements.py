@@ -18,6 +18,10 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
+from repro.circuits.netlist import GROUND
+
 __all__ = [
     "Element",
     "StampContext",
@@ -26,6 +30,12 @@ __all__ = [
     "Inductor",
     "VoltageSource",
     "CurrentSource",
+    "ElementBank",
+    "ResistorBank",
+    "CapacitorBank",
+    "InductorBank",
+    "VoltageSourceBank",
+    "CurrentSourceBank",
 ]
 
 
@@ -82,6 +92,33 @@ class Element:
 
     #: classification used by the fast MNA assembler (see class docstring)
     stamp_kind = "dynamic"
+
+    #: whether :meth:`accept` must be called after every converged step.
+    #: Stateful elements (companion models, history-based lines, macromodels)
+    #: set this to ``True``; the transient solver builds its per-step accept
+    #: list from this flag rather than comparing bound methods, which missed
+    #: accepts installed on the *instance*.  Instance-level accepts must set
+    #: the flag on the instance too; class-level overrides (including ones
+    #: contributed by mixins) are inferred automatically below.
+    needs_accept = False
+
+    def __init_subclass__(cls, **kwargs):
+        # Safety net: a subclass that overrides accept() without declaring
+        # needs_accept would be silently skipped by the solver's accept
+        # list; infer the flag unless an explicit declaration governs.
+        # Walking the MRO covers mixin-provided accepts while respecting a
+        # declaration inherited from wherever the accept came from (e.g. a
+        # parent that deliberately opted out).
+        super().__init_subclass__(**kwargs)
+        if "needs_accept" in cls.__dict__:
+            return
+        for klass in cls.__mro__:
+            if klass is not cls and "needs_accept" in klass.__dict__:
+                return  # an explicit declaration up the MRO governs
+            if "accept" in klass.__dict__:
+                if klass is not Element:  # a real override with no declaration
+                    cls.needs_accept = True
+                return
 
     def __init__(self, name: str, nodes: tuple[str, ...]):
         self.name = name
@@ -159,6 +196,7 @@ class Capacitor(Element):
     """A linear capacitor with trapezoidal / backward-Euler companion model."""
 
     stamp_kind = "static"
+    needs_accept = True
 
     def __init__(self, name: str, node_a: str, node_b: str, capacitance: float, v0: float = 0.0):
         super().__init__(name, (node_a, node_b))
@@ -215,6 +253,7 @@ class Inductor(Element):
 
     n_branch_currents = 1
     stamp_kind = "static"
+    needs_accept = True
 
     def __init__(self, name: str, node_a: str, node_b: str, inductance: float, i0: float = 0.0):
         super().__init__(name, (node_a, node_b))
@@ -359,3 +398,356 @@ class CurrentSource(Element):
     def stamp_rhs(self, rhs, ctx: StampContext) -> None:
         a, b = self.nodes
         self._stamp_current(rhs, ctx, a, b, self.value(ctx.t))
+
+
+# ---------------------------------------------------------------------------
+# element banks: many homogeneous elements as one vectorised element
+# ---------------------------------------------------------------------------
+
+def _normalize_waveforms(waveforms, n: int, share_callables: bool = True):
+    """Split a bank's waveform spec into a constant vector and callable groups.
+
+    ``waveforms`` may be a single float (shared), a single callable (shared),
+    or a length-``n`` sequence mixing floats and callables.  Returns
+    ``(const, groups)`` where ``const`` holds the constant values and
+    ``groups`` is a list of ``(callable, member_indices)`` pairs.  With
+    ``share_callables`` (the native-bank default) a callable shared by many
+    members is evaluated once per step — requires the waveform to be a pure
+    function of ``t``; ``share_callables=False`` keeps one call per member
+    per step like the scalar elements (what the compaction pass uses, so
+    per-member call counts stay identical; waveforms should still be pure
+    functions of ``t``, as every :mod:`repro.waveforms` object is).
+    """
+    if callable(waveforms):
+        items = [waveforms] * n
+    elif np.isscalar(waveforms):
+        items = [float(waveforms)] * n
+    else:
+        items = list(waveforms)
+        if len(items) != n:
+            raise ValueError(
+                f"expected {n} waveforms (one per bank member), got {len(items)}"
+            )
+    const = np.zeros(n)
+    groups_raw: list[tuple] = []
+    by_id: dict[int, tuple] = {}
+    for k, w in enumerate(items):
+        if not callable(w):
+            const[k] = float(w)
+        elif share_callables:
+            by_id.setdefault(id(w), (w, []))[1].append(k)
+        else:
+            groups_raw.append((w, [k]))
+    groups_raw.extend(by_id.values())
+    groups = [(w, np.asarray(idx, dtype=np.intp)) for w, idx in groups_raw]
+    return const, groups
+
+
+class ElementBank(Element):
+    """Base class for vectorised banks of homogeneous two-terminal elements.
+
+    At system scale the per-step cost of a netlist is dominated by Python
+    element loops, not arithmetic: N scalar elements each pay a
+    ``stamp_rhs`` call and (for stateful kinds) an ``accept`` call per time
+    step.  A bank stores per-element parameter/state *arrays* and performs
+    all of its stamping and companion-model updates in single vectorised
+    passes — element-wise identical arithmetic to N scalar instances.
+
+    Interface on top of :class:`Element`:
+
+    * :meth:`stamp_static_coo` — the bank's whole static matrix stamp as
+      COO triplet arrays ``(rows, cols, vals)``.  The dense backend scatters
+      them with one ``np.add.at``; the sparse backend appends them to its
+      COO record in one operation per bank (never per element).
+    * ``branch_names`` — the compaction pass wraps *existing* scalar
+      elements whose branch-current unknowns were already numbered by
+      :meth:`~repro.circuits.netlist.Circuit.compile`; naming them here
+      makes the bank stamp into those rows instead of a contiguous block
+      allocated under the bank's own name.
+
+    Ground connections are allowed anywhere; the index caches carry masks.
+    """
+
+    stamp_kind = "static"
+
+    def __init__(self, name: str, nodes_a, nodes_b, branch_names=None):
+        nodes_a = [str(n) for n in nodes_a]
+        nodes_b = [str(n) for n in nodes_b]
+        if len(nodes_a) != len(nodes_b):
+            raise ValueError("nodes_a and nodes_b must have the same length")
+        if not nodes_a:
+            raise ValueError(f"bank {name!r} needs at least one element")
+        super().__init__(name, tuple(nodes_a) + tuple(nodes_b))
+        self.nodes_a = nodes_a
+        self.nodes_b = nodes_b
+        if branch_names is not None and len(branch_names) != len(nodes_a):
+            raise ValueError("branch_names must name exactly one branch per element")
+        self._branch_names = list(branch_names) if branch_names is not None else None
+        self._ia: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.nodes_a)
+
+    def _param_array(self, value, what: str) -> np.ndarray:
+        """Broadcast a scalar-or-sequence parameter to one value per member."""
+        try:
+            return np.broadcast_to(np.asarray(value, dtype=float), (len(self),)).copy()
+        except ValueError:
+            raise ValueError(
+                f"{what} must be a scalar or provide one value per bank member"
+            ) from None
+
+    def reset(self) -> None:
+        self._ia = None
+
+    def _ensure_indices(self, compiled) -> None:
+        if self._ia is not None:
+            return
+        n = len(self)
+        ia = np.empty(n, dtype=np.intp)
+        ib = np.empty(n, dtype=np.intp)
+        for k in range(n):
+            i = compiled.index_of(self.nodes_a[k])
+            ia[k] = -1 if i is None else i
+            i = compiled.index_of(self.nodes_b[k])
+            ib[k] = -1 if i is None else i
+        self._ia = ia
+        self._ib = ib
+        self._ma = ia >= 0
+        self._mb = ib >= 0
+        self._maf = self._ma.astype(float)
+        self._mbf = self._mb.astype(float)
+        self._ia_safe = np.where(self._ma, ia, 0)
+        self._ib_safe = np.where(self._mb, ib, 0)
+        if self.n_branch_currents or self._branch_names is not None:
+            if self._branch_names is not None:
+                self._j = np.asarray(
+                    [compiled.branch_index(nm) for nm in self._branch_names],
+                    dtype=np.intp,
+                )
+            else:
+                self._j = compiled.branch_index(self.name) + np.arange(n, dtype=np.intp)
+
+    # -- vectorised stamping helpers --------------------------------------
+    def _port_voltages(self, x) -> np.ndarray:
+        """Candidate voltage across every member (``v_a - v_b``, 0 at ground)."""
+        return x[self._ia_safe] * self._maf - x[self._ib_safe] * self._mbf
+
+    def _conductance_coo(self, g: np.ndarray):
+        """COO triplets of per-member conductances ``g`` between the node pairs."""
+        ia, ib, ma, mb = self._ia, self._ib, self._ma, self._mb
+        both = ma & mb
+        rows = np.concatenate([ia[ma], ib[mb], ia[both], ib[both]])
+        cols = np.concatenate([ia[ma], ib[mb], ib[both], ia[both]])
+        vals = np.concatenate([g[ma], g[mb], -g[both], -g[both]])
+        return rows, cols, vals
+
+    def _incidence_coo(self):
+        """COO triplets of the branch incidence rows/columns (sources, inductors)."""
+        ia, ib, ma, mb, j = self._ia, self._ib, self._ma, self._mb, self._j
+        one_a = np.ones(int(ma.sum()))
+        one_b = np.ones(int(mb.sum()))
+        rows = np.concatenate([ia[ma], ib[mb], j[ma], j[mb]])
+        cols = np.concatenate([j[ma], j[mb], ia[ma], ib[mb]])
+        vals = np.concatenate([one_a, -one_b, one_a, -one_b])
+        return rows, cols, vals
+
+    def _scatter_current(self, rhs, i_ab: np.ndarray) -> None:
+        """Add per-member currents flowing ``a -> b`` into the RHS."""
+        ma, mb = self._ma, self._mb
+        np.add.at(rhs, self._ia[ma], -i_ab[ma])
+        np.add.at(rhs, self._ib[mb], i_ab[mb])
+
+    # -- Element protocol --------------------------------------------------
+    def stamp_static_coo(self, ctx: StampContext):
+        """The bank's static matrix stamp as ``(rows, cols, vals)`` arrays."""
+        raise NotImplementedError
+
+    def stamp_static(self, A, ctx: StampContext) -> None:
+        self._ensure_indices(ctx.compiled)
+        rows, cols, vals = self.stamp_static_coo(ctx)
+        if isinstance(A, np.ndarray):
+            np.add.at(A, (rows, cols), vals)
+        else:  # scalar COO recorder of a backend that is not bank-aware
+            for i, j, v in zip(rows.tolist(), cols.tolist(), vals.tolist()):
+                A[i, j] += v
+
+    def stamp_rhs(self, rhs, ctx: StampContext) -> None:
+        pass
+
+    def stamp(self, A, rhs, x, ctx: StampContext) -> None:
+        self.stamp_static(A, ctx)
+        self.stamp_rhs(rhs, ctx)
+
+
+class ResistorBank(ElementBank):
+    """Many linear resistors as one vectorised element."""
+
+    def __init__(self, name: str, nodes_a, nodes_b, resistance):
+        super().__init__(name, nodes_a, nodes_b)
+        self.resistance = self._param_array(resistance, "resistance")
+        if np.any(self.resistance <= 0):
+            raise ValueError("resistance must be positive")
+
+    def stamp_static_coo(self, ctx: StampContext):
+        self._ensure_indices(ctx.compiled)
+        return self._conductance_coo(1.0 / self.resistance)
+
+
+class CapacitorBank(ElementBank):
+    """Many linear capacitors as one vectorised element.
+
+    The companion-model matrix stamp is static (once per run); the per-step
+    history currents and the post-step state updates run as single
+    array-wide passes.  ``nodes`` are the positive terminals; ``nodes_b``
+    defaults to ground everywhere (the shunt-bank form the ladder/mesh
+    generators emit), but any node pairs are accepted.
+    """
+
+    needs_accept = True
+
+    def __init__(self, name: str, nodes, capacitance, v0=0.0, nodes_b=None):
+        nodes = list(nodes)
+        if nodes_b is None:
+            nodes_b = [GROUND] * len(nodes)
+        super().__init__(name, nodes, nodes_b)
+        self.capacitance = self._param_array(capacitance, "capacitance")
+        if np.any(self.capacitance < 0):
+            raise ValueError("capacitance must be non-negative")
+        self.v0 = self._param_array(v0, "v0")
+        self.reset()
+
+    def reset(self) -> None:
+        super().reset()
+        self._v_prev = self.v0.copy()
+        self._i_prev = np.zeros(len(self))
+
+    def _geq(self, ctx: StampContext) -> np.ndarray:
+        scale = 2.0 if ctx.method == "trapezoidal" else 1.0
+        return scale * self.capacitance / ctx.dt
+
+    def _i_hist(self, ctx: StampContext) -> np.ndarray:
+        geq = self._geq(ctx)
+        if ctx.method == "trapezoidal":
+            return -geq * self._v_prev - self._i_prev
+        return -geq * self._v_prev
+
+    def stamp_static_coo(self, ctx: StampContext):
+        self._ensure_indices(ctx.compiled)
+        return self._conductance_coo(self._geq(ctx))
+
+    def stamp_rhs(self, rhs, ctx: StampContext) -> None:
+        self._ensure_indices(ctx.compiled)
+        self._scatter_current(rhs, self._i_hist(ctx))
+
+    def accept(self, x, ctx: StampContext) -> None:
+        v_new = self._port_voltages(x)
+        geq = self._geq(ctx)
+        if ctx.method == "trapezoidal":
+            i_new = geq * (v_new - self._v_prev) - self._i_prev
+        else:
+            i_new = geq * (v_new - self._v_prev)
+        self._v_prev = v_new
+        self._i_prev = i_new
+
+
+class InductorBank(ElementBank):
+    """Many linear inductors (one branch-current unknown each) as one element."""
+
+    needs_accept = True
+
+    def __init__(self, name: str, nodes_a, nodes_b, inductance, i0=0.0,
+                 branch_names=None):
+        super().__init__(name, nodes_a, nodes_b, branch_names=branch_names)
+        self.inductance = self._param_array(inductance, "inductance")
+        if np.any(self.inductance <= 0):
+            raise ValueError("inductance must be positive")
+        self.i0 = self._param_array(i0, "i0")
+        # With branch_names the bank stamps into the named elements'
+        # existing branch rows; claiming its own would leave N unstamped
+        # (singular) rows in the compiled system.
+        self.n_branch_currents = 0 if branch_names is not None else len(self)
+        self.reset()
+
+    def reset(self) -> None:
+        super().reset()
+        self._i_prev = self.i0.copy()
+        self._v_prev = np.zeros(len(self))
+
+    def _req(self, ctx: StampContext) -> np.ndarray:
+        scale = 2.0 if ctx.method == "trapezoidal" else 1.0
+        return scale * self.inductance / ctx.dt
+
+    def stamp_static_coo(self, ctx: StampContext):
+        self._ensure_indices(ctx.compiled)
+        rows, cols, vals = self._incidence_coo()
+        j = self._j
+        return (
+            np.concatenate([rows, j]),
+            np.concatenate([cols, j]),
+            np.concatenate([vals, -self._req(ctx)]),
+        )
+
+    def stamp_rhs(self, rhs, ctx: StampContext) -> None:
+        self._ensure_indices(ctx.compiled)
+        if ctx.method == "trapezoidal":
+            v_hist = -self._req(ctx) * self._i_prev - self._v_prev
+        else:
+            v_hist = -self._req(ctx) * self._i_prev
+        rhs[self._j] += v_hist  # branch rows are unique: fancy add is exact
+
+    def accept(self, x, ctx: StampContext) -> None:
+        self._i_prev = np.asarray(x[self._j], dtype=float)
+        self._v_prev = self._port_voltages(x)
+
+
+class VoltageSourceBank(ElementBank):
+    """Many independent voltage sources (one branch unknown each) as one element."""
+
+    def __init__(self, name: str, nodes_plus, nodes_minus, waveforms,
+                 branch_names=None, share_waveforms: bool = True):
+        super().__init__(name, nodes_plus, nodes_minus, branch_names=branch_names)
+        # see InductorBank: branch_names reuses existing rows
+        self.n_branch_currents = 0 if branch_names is not None else len(self)
+        self._const, self._call_groups = _normalize_waveforms(
+            waveforms, len(self), share_callables=share_waveforms
+        )
+
+    def values(self, t: float) -> np.ndarray:
+        """Source values at time ``t`` (shared callables evaluated once)."""
+        if not self._call_groups:
+            return self._const
+        vals = self._const.copy()
+        for waveform, idx in self._call_groups:
+            vals[idx] = float(waveform(t))
+        return vals
+
+    def stamp_static_coo(self, ctx: StampContext):
+        self._ensure_indices(ctx.compiled)
+        return self._incidence_coo()
+
+    def stamp_rhs(self, rhs, ctx: StampContext) -> None:
+        self._ensure_indices(ctx.compiled)
+        rhs[self._j] += self.values(ctx.t)
+
+
+class CurrentSourceBank(ElementBank):
+    """Many independent current sources (+ node to - node) as one element."""
+
+    def __init__(self, name: str, nodes_plus, nodes_minus, waveforms,
+                 share_waveforms: bool = True):
+        super().__init__(name, nodes_plus, nodes_minus)
+        self._const, self._call_groups = _normalize_waveforms(
+            waveforms, len(self), share_callables=share_waveforms
+        )
+
+    values = VoltageSourceBank.values
+
+    def stamp_static_coo(self, ctx: StampContext):
+        self._ensure_indices(ctx.compiled)
+        empty = np.empty(0)
+        return empty.astype(np.intp), empty.astype(np.intp), empty
+
+    def stamp_rhs(self, rhs, ctx: StampContext) -> None:
+        self._ensure_indices(ctx.compiled)
+        self._scatter_current(rhs, self.values(ctx.t))

@@ -16,21 +16,28 @@ exercise the sparse solver backend (:mod:`repro.perf.backends`):
   and 2-D RC mesh benchmarks of parameterised size, the workloads of
   ``benchmarks/bench_sparse.py``.
 
-All generators return ordinary :class:`~repro.circuits.netlist.Circuit`
-objects built from the stock static elements, so every solver path (naive
-reference, dense fast, sparse fast) runs them unchanged.
+All generators emit vectorised element banks
+(:class:`~repro.circuits.elements.ElementBank`) by default — inductors and
+capacitors of a ladder land in one :class:`InductorBank` / one
+:class:`CapacitorBank`, mesh resistors in one :class:`ResistorBank` — so
+per-step Python element loops do not mask the solve costs.  ``banked=False``
+emits the equivalent scalar elements instead (the differential-test and
+benchmark baseline; the run-start compaction pass of
+:mod:`repro.perf.mna` re-banks them unless ``REPRO_BANK_COMPACTION=0``).
+Every return value is an ordinary :class:`~repro.circuits.netlist.Circuit`,
+so all solver paths (naive reference, dense fast, sparse fast) run them
+unchanged.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.circuits.elements import (
     Capacitor,
-    Element,
+    CapacitorBank,
     Inductor,
+    InductorBank,
     Resistor,
-    StampContext,
+    ResistorBank,
     VoltageSource,
 )
 from repro.circuits.netlist import GROUND, Circuit
@@ -44,93 +51,6 @@ __all__ = [
 ]
 
 
-class CapacitorBank(Element):
-    """Many identical-topology shunt capacitors as one vectorised element.
-
-    At system scale the per-step cost of a netlist is dominated by Python
-    element loops, not arithmetic: N shunt capacitors each pay a
-    ``stamp_rhs`` call and an ``accept`` call per time step.  A bank keeps
-    the per-capacitor *matrix* stamps (scalar, once per run, so the sparse
-    backend's COO recorder sees them unchanged) but folds the per-step
-    history currents and the post-step companion updates into single
-    vectorised passes — element-wise identical arithmetic to N separate
-    :class:`~repro.circuits.elements.Capacitor` instances.
-
-    Parameters
-    ----------
-    nodes:
-        The capacitor nodes (each capacitor connects its node to ground).
-    capacitance:
-        Common capacitance, or one value per node.
-    v0:
-        Common initial voltage, or one value per node.
-    """
-
-    stamp_kind = "static"
-
-    def __init__(self, name: str, nodes, capacitance, v0=0.0):
-        nodes = list(nodes)
-        super().__init__(name, tuple(nodes))
-        self.capacitance = np.broadcast_to(
-            np.asarray(capacitance, dtype=float), (len(nodes),)
-        ).copy()
-        if np.any(self.capacitance < 0):
-            raise ValueError("capacitance must be non-negative")
-        self.v0 = np.broadcast_to(np.asarray(v0, dtype=float), (len(nodes),)).copy()
-        self._idx: np.ndarray | None = None
-        self.reset()
-
-    def reset(self) -> None:
-        self._v_prev = self.v0.copy()
-        self._i_prev = np.zeros(len(self.nodes))
-        self._idx = None
-
-    def _indices(self, ctx: StampContext) -> np.ndarray:
-        if self._idx is None:
-            self._idx = np.array(
-                [ctx.compiled.index_of(node) for node in self.nodes], dtype=np.intp
-            )
-        return self._idx
-
-    def _geq(self, ctx: StampContext) -> np.ndarray:
-        scale = 2.0 if ctx.method == "trapezoidal" else 1.0
-        return scale * self.capacitance / ctx.dt
-
-    def _i_hist(self, ctx: StampContext) -> np.ndarray:
-        geq = self._geq(ctx)
-        if ctx.method == "trapezoidal":
-            return -geq * self._v_prev - self._i_prev
-        return -geq * self._v_prev
-
-    def stamp(self, A, rhs, x, ctx: StampContext) -> None:
-        idx = self._indices(ctx)
-        A[idx, idx] += self._geq(ctx)
-        rhs[idx] -= self._i_hist(ctx)
-
-    def stamp_static(self, A, ctx: StampContext) -> None:
-        # Scalar writes on purpose: the sparse backend records matrix
-        # stamps through a scalar COO recorder, and this runs once per run.
-        idx = self._indices(ctx)
-        geq = self._geq(ctx)
-        for k in range(idx.size):
-            A[idx[k], idx[k]] += geq[k]
-
-    def stamp_rhs(self, rhs, ctx: StampContext) -> None:
-        idx = self._indices(ctx)
-        rhs[idx] -= self._i_hist(ctx)
-
-    def accept(self, x, ctx: StampContext) -> None:
-        idx = self._indices(ctx)
-        v_new = x[idx]
-        geq = self._geq(ctx)
-        if ctx.method == "trapezoidal":
-            i_new = geq * (v_new - self._v_prev) - self._i_prev
-        else:
-            i_new = geq * (v_new - self._v_prev)
-        self._v_prev = v_new
-        self._i_prev = i_new
-
-
 def add_lc_ladder(
     circuit: Circuit,
     name: str,
@@ -140,6 +60,7 @@ def add_lc_ladder(
     delay: float,
     segments: int,
     v_initial: float = 0.0,
+    banked: bool = True,
 ) -> None:
     """Add an ``segments``-section LC ladder between ``node_a`` and ``node_b``.
 
@@ -148,6 +69,12 @@ def add_lc_ladder(
     ``z0 = sqrt(L_tot/C_tot)`` and one-way delay ``delay = sqrt(L_tot*C_tot)``.
     ``v_initial`` pre-charges the shunt capacitors (the lumped equivalent
     of the ideal line's initial steady state; section currents start at 0).
+
+    With ``banked=True`` (default) the inductors land in one
+    ``InductorBank`` named ``{name}_l`` (branch currents ``{name}_l[k]``)
+    and the capacitors in one ``CapacitorBank`` named ``{name}_c``;
+    ``banked=False`` emits scalar ``{name}_l{k}`` / ``{name}_c{k}``
+    elements with identical arithmetic.
     """
     if segments < 1:
         raise ValueError("segments must be at least 1")
@@ -155,12 +82,23 @@ def add_lc_ladder(
         raise ValueError("z0 and delay must be positive")
     l_section = z0 * delay / segments
     c_section = delay / (z0 * segments)
+    l_nodes_a, l_nodes_b, c_nodes = [], [], []
     prev = node_a
     for k in range(segments):
         mid = node_b if k == segments - 1 else f"{name}_n{k + 1}"
-        circuit.add(Inductor(f"{name}_l{k}", prev, mid, l_section))
-        circuit.add(Capacitor(f"{name}_c{k}", mid, GROUND, c_section, v0=v_initial))
+        l_nodes_a.append(prev)
+        l_nodes_b.append(mid)
+        c_nodes.append(mid)
         prev = mid
+    if banked:
+        circuit.add(InductorBank(f"{name}_l", l_nodes_a, l_nodes_b, l_section))
+        circuit.add(CapacitorBank(f"{name}_c", c_nodes, c_section, v0=v_initial))
+    else:
+        for k in range(segments):
+            circuit.add(Inductor(f"{name}_l{k}", l_nodes_a[k], l_nodes_b[k], l_section))
+            circuit.add(
+                Capacitor(f"{name}_c{k}", c_nodes[k], GROUND, c_section, v0=v_initial)
+            )
 
 
 def add_link_interconnect(
@@ -198,6 +136,7 @@ def rc_ladder_circuit(
     r_section: float = 1.0,
     c_section: float = 10e-15,
     r_load: float = 500.0,
+    banked: bool = True,
 ) -> tuple[Circuit, str]:
     """A driven RC ladder with ``n_sections`` series-R / shunt-C sections.
 
@@ -205,21 +144,36 @@ def rc_ladder_circuit(
     ``n_sections + 2`` MNA unknowns and is purely linear, so a transient
     factors its Jacobian exactly once on every fast backend.  The probe
     sits a short diffusion depth into the ladder (RC diffusion makes the
-    far end numerically silent over a short transient); the shunt
-    capacitors are one vectorised :class:`CapacitorBank`.
+    far end numerically silent over a short transient).  With
+    ``banked=True`` the series resistors form one ``ResistorBank`` and the
+    shunt capacitors one ``CapacitorBank``; ``banked=False`` emits the
+    equivalent scalar elements (the scalar-stamping baseline).
     """
     if n_sections < 1:
         raise ValueError("n_sections must be at least 1")
+    if r_section <= 0 or r_load <= 0:
+        raise ValueError("r_section and r_load must be positive (got a "
+                         "zero/negative resistance)")
+    if c_section <= 0:
+        raise ValueError("c_section must be positive (a zero-valued shunt "
+                         "capacitor would make the ladder degenerate)")
     circuit = Circuit(f"rc-ladder-{n_sections}")
     circuit.add(VoltageSource("vin", "in", GROUND, waveform))
+    r_nodes_a, r_nodes_b, cap_nodes = [], [], []
     prev = "in"
-    cap_nodes = []
     for k in range(n_sections):
         node = f"n{k + 1}"
-        circuit.add(Resistor(f"r{k}", prev, node, r_section))
+        r_nodes_a.append(prev)
+        r_nodes_b.append(node)
         cap_nodes.append(node)
         prev = node
-    circuit.add(CapacitorBank("cbank", cap_nodes, c_section))
+    if banked:
+        circuit.add(ResistorBank("rbank", r_nodes_a, r_nodes_b, r_section))
+        circuit.add(CapacitorBank("cbank", cap_nodes, c_section))
+    else:
+        for k in range(n_sections):
+            circuit.add(Resistor(f"r{k}", r_nodes_a[k], r_nodes_b[k], r_section))
+            circuit.add(Capacitor(f"c{k}", cap_nodes[k], GROUND, c_section))
     circuit.add(Resistor("rload", cap_nodes[-1], GROUND, r_load))
     return circuit, f"n{min(n_sections, 20)}"
 
@@ -231,6 +185,7 @@ def rc_grid_circuit(
     r_link: float = 25.0,
     c_node: float = 20e-15,
     r_load: float = 1e3,
+    banked: bool = True,
 ) -> tuple[Circuit, str]:
     """A driven 2-D RC mesh (``rows x cols`` nodes, nearest-neighbour R).
 
@@ -238,26 +193,45 @@ def rc_grid_circuit(
     structure — the fill-in-sensitive counterpart to the banded ladder.
     Returns ``(circuit, probe_node)`` with the source at node (0, 0), the
     load at the opposite corner and the probe one diagonal step in from
-    the source; roughly ``rows * cols`` MNA unknowns, shunt capacitance
-    as one vectorised :class:`CapacitorBank`.
+    the source; roughly ``rows * cols`` MNA unknowns.  ``banked=True``
+    (default) emits one ``ResistorBank`` for the whole mesh and one
+    ``CapacitorBank`` for the shunt capacitance; ``banked=False`` emits
+    scalar elements.
     """
     if rows < 2 or cols < 2:
         raise ValueError("the grid needs at least 2x2 nodes")
+    if r_link <= 0 or r_load <= 0:
+        raise ValueError("r_link and r_load must be positive (got a "
+                         "zero/negative resistance)")
+    if c_node <= 0:
+        raise ValueError("c_node must be positive (a zero-valued node "
+                         "capacitance would make the grid degenerate)")
     circuit = Circuit(f"rc-grid-{rows}x{cols}")
 
     def node(i: int, j: int) -> str:
         return f"g{i}_{j}"
 
     circuit.add(VoltageSource("vin", "in", GROUND, waveform))
-    circuit.add(Resistor("rdrive", "in", node(0, 0), r_link))
+    r_names, r_nodes_a, r_nodes_b = ["rdrive"], ["in"], [node(0, 0)]
     cap_nodes = []
     for i in range(rows):
         for j in range(cols):
             cap_nodes.append(node(i, j))
             if j + 1 < cols:
-                circuit.add(Resistor(f"rh{i}_{j}", node(i, j), node(i, j + 1), r_link))
+                r_names.append(f"rh{i}_{j}")
+                r_nodes_a.append(node(i, j))
+                r_nodes_b.append(node(i, j + 1))
             if i + 1 < rows:
-                circuit.add(Resistor(f"rv{i}_{j}", node(i, j), node(i + 1, j), r_link))
-    circuit.add(CapacitorBank("cbank", cap_nodes, c_node))
+                r_names.append(f"rv{i}_{j}")
+                r_nodes_a.append(node(i, j))
+                r_nodes_b.append(node(i + 1, j))
+    if banked:
+        circuit.add(ResistorBank("rbank", r_nodes_a, r_nodes_b, r_link))
+        circuit.add(CapacitorBank("cbank", cap_nodes, c_node))
+    else:
+        for name, a, b in zip(r_names, r_nodes_a, r_nodes_b):
+            circuit.add(Resistor(name, a, b, r_link))
+        for n in cap_nodes:
+            circuit.add(Capacitor(f"c_{n}", n, GROUND, c_node))
     circuit.add(Resistor("rload", node(rows - 1, cols - 1), GROUND, r_load))
     return circuit, node(1, 1)

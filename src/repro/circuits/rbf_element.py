@@ -25,6 +25,8 @@ __all__ = ["MacromodelElement"]
 class MacromodelElement(Element):
     """A driver or receiver macromodel connected between ``node`` and ``ref``.
 
+    The regressor state advances once per accepted step (``needs_accept``).
+
     Parameters
     ----------
     model:
@@ -36,6 +38,8 @@ class MacromodelElement(Element):
     v0, i0:
         Initial port voltage and current used to fill the regressor history.
     """
+
+    needs_accept = True
 
     def __init__(
         self,

@@ -43,6 +43,7 @@ class IdealTransmissionLine(Element):
 
     n_branch_currents = 2
     stamp_kind = "static"
+    needs_accept = True
 
     def __init__(
         self,

@@ -28,7 +28,7 @@ from typing import Dict, Iterable, Optional, Sequence
 import numpy as np
 
 from repro import perf
-from repro.circuits.elements import Element, StampContext
+from repro.circuits.elements import StampContext
 from repro.circuits.netlist import Circuit, CompiledCircuit, GROUND
 from repro.perf.backends import BACKEND_NAMES
 from repro.perf.mna import FastPathAssembler, SharedStaticContext
@@ -66,6 +66,13 @@ class TransientOptions:
         ``None``/``"auto"`` to pick dense at paper scale and sparse above
         :func:`~repro.perf.backends.sparse_threshold` unknowns.  Ignored
         by the reference path.
+    compact_banks:
+        Group homogeneous scalar elements (R, C, L, V, I) into vectorised
+        element banks at run start, so per-step stamping and accepts cost
+        one Python call per bank instead of one per element.  ``None``
+        (default) follows the ``REPRO_BANK_COMPACTION`` environment switch
+        (on unless set to ``0``); ``False`` opts this run out.  Ignored by
+        the reference path, which always stamps element by element.
     """
 
     method: str = "trapezoidal"
@@ -76,6 +83,7 @@ class TransientOptions:
     max_delta_v: float = 1.0
     fast: bool | None = None
     backend: str | None = None
+    compact_banks: bool | None = None
 
     def __post_init__(self):
         if self.method not in ("trapezoidal", "backward_euler"):
@@ -230,9 +238,12 @@ class TransientSolver:
                 self.circuit, compiled, self.dt, self.options.method,
                 self.options.gmin, shared=self.shared_static,
                 backend=self.options.backend,
+                compact_banks=self.options.compact_banks,
             )
             run.assembler.begin_run()
             self.perf_stats = run.assembler.stats
+        else:
+            self.perf_stats = {"mode": "reference", "accept_calls": 0}
 
         x = np.zeros(compiled.n_unknowns)
         if initial_voltages:
@@ -269,10 +280,15 @@ class TransientSolver:
         run.recorded = np.zeros((run.n_steps + 1, run.rec_idx.size))
         run.iterations = np.zeros(run.n_steps + 1, dtype=int)
 
-        # Elements whose accept() is the no-op base hook need no per-step call.
-        run.accept_elements = [
-            el for el in self.circuit.elements if type(el).accept is not Element.accept
-        ]
+        # Only stateful elements (explicit ``needs_accept`` flag) take a
+        # per-step accept call; the fast path substitutes compacted banks,
+        # which commit their whole member set in one array-wide call.
+        if run.assembler is not None:
+            run.accept_elements = run.assembler.accept_elements()
+        else:
+            run.accept_elements = [
+                el for el in self.circuit.elements if el.needs_accept
+            ]
 
         if run.rec_idx.size:
             np.take(x, run.rec_idx, out=run.recorded[0])
@@ -327,6 +343,7 @@ class TransientSolver:
         run.iterations[run.step] = run.newton_count
         for element in run.accept_elements:
             element.accept(run.x, run.ctx)
+        self.perf_stats["accept_calls"] += len(run.accept_elements)
         if run.rec_idx.size:
             np.take(run.x, run.rec_idx, out=run.recorded[run.step])
 

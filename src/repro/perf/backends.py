@@ -18,10 +18,12 @@ Two backends are provided:
   fastest) at paper-sized circuits.
 * :class:`SparseBackend` — true sparse assembly for netlists beyond a few
   hundred unknowns.  Static stamps are recorded **once per run** as COO
-  triplets and compressed to CSC; the first Newton iteration's dynamic
-  stamps extend the pattern, after which the symbolic work (pattern union,
-  COO→CSC position maps) is cached and every further iteration only
-  rewrites the numeric ``data`` array (``pattern_reuses`` counts this).
+  triplets (scalar elements through a recorder stand-in, element banks as
+  one whole-triplet record per bank) and compressed to CSC; the first
+  Newton iteration's dynamic stamps extend the pattern, after which the
+  symbolic work (pattern union, COO→CSC position maps) is cached and every
+  further iteration only rewrites the numeric ``data`` array
+  (``pattern_reuses`` counts this).
   Purely linear circuits are ``splu``-factorised exactly once per
   transient; sweep batches reuse the factors through
   :class:`~repro.perf.mna.SharedStaticContext` multi-RHS block solves.
@@ -220,6 +222,8 @@ class DenseBackend(LinearSolverBackend):
         A = self._A_static
         A[:] = 0.0
         for element in asm.static_elements:
+            # Element banks scatter their whole COO triplet block with one
+            # np.add.at inside their stamp_static (the target is an ndarray).
             element.stamp_static(A, ctx)
         diag = asm.compiled.node_diagonal
         A[diag, diag] += asm.gmin
@@ -382,15 +386,34 @@ class SparseBackend(LinearSolverBackend):
     def assemble_static(self, ctx, shared) -> None:
         asm = self.assembler
         recorder = _StampRecorder()
+        # Scalar elements record through the scalar stand-in; element banks
+        # contribute their whole COO triplet block in one append per bank.
+        bank_rows: list[np.ndarray] = []
+        bank_cols: list[np.ndarray] = []
+        bank_vals: list[np.ndarray] = []
         for element in asm.static_elements:
-            element.stamp_static(recorder, ctx)
+            coo = getattr(element, "stamp_static_coo", None)
+            if coo is not None:
+                rows, cols, vals = coo(ctx)
+                if len(rows):
+                    bank_rows.append(np.asarray(rows, dtype=np.int64))
+                    bank_cols.append(np.asarray(cols, dtype=np.int64))
+                    bank_vals.append(np.asarray(vals, dtype=np.float64))
+            else:
+                element.stamp_static(recorder, ctx)
         diag = asm.compiled.node_diagonal
-        recorder.rows.extend(diag.tolist())
-        recorder.cols.extend(diag.tolist())
-        recorder.vals.extend([asm.gmin] * diag.size)
-        self._static_rows = np.asarray(recorder.rows, dtype=np.int64)
-        self._static_cols = np.asarray(recorder.cols, dtype=np.int64)
-        self._static_vals = np.asarray(recorder.vals, dtype=np.float64)
+        self._static_rows = np.concatenate(
+            [np.asarray(recorder.rows, dtype=np.int64), *bank_rows,
+             diag.astype(np.int64)]
+        )
+        self._static_cols = np.concatenate(
+            [np.asarray(recorder.cols, dtype=np.int64), *bank_cols,
+             diag.astype(np.int64)]
+        )
+        self._static_vals = np.concatenate(
+            [np.asarray(recorder.vals, dtype=np.float64), *bank_vals,
+             np.full(diag.size, asm.gmin)]
+        )
         self._lu = None
         self._csc_static = self._build_static_csc()
         if asm.linear_only:

@@ -35,11 +35,25 @@ factorizations so tests can assert the caches are actually hit.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.circuits.elements import StampContext
+from repro.circuits.elements import (
+    Capacitor,
+    CapacitorBank,
+    CurrentSource,
+    CurrentSourceBank,
+    ElementBank,
+    Inductor,
+    InductorBank,
+    Resistor,
+    ResistorBank,
+    StampContext,
+    VoltageSource,
+    VoltageSourceBank,
+)
 from repro.perf.backends import (
     SPARSE_THRESHOLD,
     make_backend,
@@ -53,7 +67,131 @@ from repro.perf.backends import (
 if TYPE_CHECKING:  # pragma: no cover
     from repro.circuits.netlist import Circuit, CompiledCircuit
 
-__all__ = ["FastPathAssembler", "SharedStaticContext", "SPARSE_THRESHOLD"]
+__all__ = [
+    "FastPathAssembler",
+    "SharedStaticContext",
+    "SPARSE_THRESHOLD",
+    "bank_compaction_default",
+    "compact_elements",
+]
+
+
+# ---------------------------------------------------------------------------
+# bank compaction: group homogeneous scalar elements into vectorised banks
+# ---------------------------------------------------------------------------
+
+#: a group needs at least this many members before compaction pays for itself
+COMPACTION_MIN_GROUP = 2
+
+
+def bank_compaction_default() -> bool:
+    """Whether bank compaction is enabled (``REPRO_BANK_COMPACTION=0`` opts out)."""
+    raw = os.environ.get("REPRO_BANK_COMPACTION", "").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+def resolve_bank_compaction(flag: bool | None) -> bool:
+    """Resolve ``TransientOptions.compact_banks`` against the env default."""
+    return bank_compaction_default() if flag is None else bool(flag)
+
+
+def _bank_from_group(kind, members, tag: int):
+    """A synthetic bank stamping/accepting exactly like the scalar ``members``.
+
+    The members were already compiled into the circuit, so banks with branch
+    unknowns (inductors, voltage sources) address the members' existing rows
+    via ``branch_names`` instead of a block of their own.  Companion-model
+    state is copied from the members so compaction is valid even when a
+    caller assembles mid-run state (the solver compacts right after reset).
+    """
+    name = f"__bank{tag}_{kind.__name__.lower()}"
+    nodes_a = [el.nodes[0] for el in members]
+    nodes_b = [el.nodes[1] for el in members]
+    if kind is Resistor:
+        return ResistorBank(name, nodes_a, nodes_b,
+                            [el.resistance for el in members])
+    if kind is Capacitor:
+        bank = CapacitorBank(name, nodes_a, [el.capacitance for el in members],
+                             v0=[el.v0 for el in members], nodes_b=nodes_b)
+        bank._v_prev = np.asarray([el._v_prev for el in members], dtype=float)
+        bank._i_prev = np.asarray([el._i_prev for el in members], dtype=float)
+        return bank
+    if kind is Inductor:
+        bank = InductorBank(name, nodes_a, nodes_b,
+                            [el.inductance for el in members],
+                            i0=[el.i0 for el in members],
+                            branch_names=[el.name for el in members])
+        bank._i_prev = np.asarray([el._i_prev for el in members], dtype=float)
+        bank._v_prev = np.asarray([el._v_prev for el in members], dtype=float)
+        return bank
+    # share_waveforms=False keeps one callable invocation per member per
+    # step — the scalar elements' call count and per-kind order.  (Only
+    # the cross-kind interleaving can differ, and only for a waveform
+    # object that is not a pure function of t, which no solver path
+    # supports order-stably anyway: the reference path re-evaluates per
+    # Newton iteration.)
+    waveforms = [
+        el._const_value if el._const_value is not None else el.waveform
+        for el in members
+    ]
+    if kind is VoltageSource:
+        return VoltageSourceBank(name, nodes_a, nodes_b, waveforms,
+                                 branch_names=[el.name for el in members],
+                                 share_waveforms=False)
+    return CurrentSourceBank(name, nodes_a, nodes_b, waveforms,
+                             share_waveforms=False)
+
+
+_BANKABLE = (Resistor, Capacitor, Inductor, VoltageSource, CurrentSource)
+
+#: behaviour hooks whose presence in an instance ``__dict__`` marks the
+#: element as customised — a bank would silently drop the override
+#: (``value`` is the hook the source stamps actually call per step)
+_BEHAVIOUR_HOOKS = (
+    "accept", "needs_accept", "reset", "value",
+    "stamp", "stamp_static", "stamp_rhs", "stamp_fast", "prepare_fast",
+)
+
+
+def _is_plain(element) -> bool:
+    """Whether an element carries no instance-level behaviour overrides."""
+    instance_dict = element.__dict__
+    return not any(hook in instance_dict for hook in _BEHAVIOUR_HOOKS)
+
+
+def compact_elements(elements, min_group: int = COMPACTION_MIN_GROUP):
+    """Group homogeneous scalar elements into banks for one assembler run.
+
+    Only exact, uncustomised instances of the five stock scalar kinds are
+    grouped: subclasses and elements with instance-installed behaviour
+    (e.g. a per-instance ``accept`` probe) may carry extra semantics a
+    synthetic bank would silently drop, so they pass through untouched.
+    Each bank replaces its first member's position in the element order.
+    Returns ``(effective_elements, n_compacted)`` where ``n_compacted``
+    counts the scalar elements absorbed into banks.
+    """
+    groups: dict[type, list] = {}
+    for el in elements:
+        if type(el) in _BANKABLE and _is_plain(el):
+            groups.setdefault(type(el), []).append(el)
+    groups = {kind: members for kind, members in groups.items()
+              if len(members) >= min_group}
+    if not groups:
+        return list(elements), 0
+    absorbed = {id(el): type(el) for members in groups.values() for el in members}
+    out = []
+    emitted: set[type] = set()
+    compacted = 0
+    for tag, el in enumerate(elements):
+        kind = absorbed.get(id(el))
+        if kind is not None:
+            if kind not in emitted:
+                emitted.add(kind)
+                out.append(_bank_from_group(kind, groups[kind], tag))
+                compacted += len(groups[kind])
+        else:
+            out.append(el)
+    return out, compacted
 
 
 class SharedStaticContext:
@@ -177,6 +315,13 @@ class FastPathAssembler:
         Linear-solver backend: ``"dense"``, ``"sparse"`` or ``None``/
         ``"auto"`` (dense at paper scale, sparse above
         :func:`~repro.perf.backends.sparse_threshold` unknowns).
+    compact_banks:
+        Group homogeneous scalar elements into vectorised
+        :class:`~repro.circuits.elements.ElementBank` instances for this
+        run (``None`` follows :func:`bank_compaction_default`, i.e. the
+        ``REPRO_BANK_COMPACTION`` environment switch).  Compaction changes
+        neither the unknown numbering nor the stamped values — only how
+        many Python calls each step costs.
     """
 
     def __init__(
@@ -188,6 +333,7 @@ class FastPathAssembler:
         gmin: float,
         shared: SharedStaticContext | None = None,
         backend: str | None = None,
+        compact_banks: bool | None = None,
     ):
         self.circuit = circuit
         self.compiled = compiled
@@ -195,14 +341,22 @@ class FastPathAssembler:
         self.method = method
         self.gmin = float(gmin)
         self._shared = shared
+        self.compact_banks = resolve_bank_compaction(compact_banks)
+
+        elements = list(circuit.elements)
+        compacted = 0
+        if self.compact_banks:
+            elements, compacted = compact_elements(elements)
+        #: the element list this run assembles/accepts (banks substituted)
+        self.elements = elements
 
         self.static_elements = [
-            el for el in circuit.elements if getattr(el, "stamp_kind", "dynamic") == "static"
+            el for el in elements if getattr(el, "stamp_kind", "dynamic") == "static"
         ]
         # Dynamic elements are paired with their fastest available stamp.
         self.dynamic_stamps = [
             (el, getattr(el, "stamp_fast", None) or el.stamp)
-            for el in circuit.elements
+            for el in elements
             if getattr(el, "stamp_kind", "dynamic") != "static"
         ]
         self._dynamic_fns = [stamp for _, stamp in self.dynamic_stamps]
@@ -217,9 +371,23 @@ class FastPathAssembler:
             "factorizations": 0,
             "cached_solves": 0,
             "dense_solves": 0,
+            "bank_compaction": self.compact_banks,
+            "banked_elements": sum(
+                len(el) for el in elements if isinstance(el, ElementBank)
+            ),
+            "compacted_elements": compacted,
+            "accept_calls": 0,
         }
         self.backend = make_backend(backend, self)
         self.stats["backend"] = self.backend.name
+
+    def accept_elements(self) -> list:
+        """The elements whose ``accept`` must run after every converged step.
+
+        Banks commit their whole member set in one array-wide call, so the
+        per-step accept loop shrinks to one entry per bank.
+        """
+        return [el for el in self.elements if el.needs_accept]
 
     # -- assembly ---------------------------------------------------------
     def begin_run(self) -> None:

@@ -411,7 +411,9 @@ class TestSweepSegments:
         assert link_spec.segments == 30
         circuit = link_spec.build(Scenario(name="a", bit_pattern="010"))
         names = {element.name for element in circuit.elements}
-        assert "tl_l0" in names and "tl_l29" in names  # ladder, not MoC line
+        # ladder banks, not a MoC line (PR 5 banked the ladder generators)
+        assert "tl_l" in names and "tl_c" in names
+        assert len(circuit.element("tl_l")) == 30
         assert RBFLinkSpec.from_job_spec(self._spec("rbf")).segments == 30
 
     def test_linear_ladder_sweep_runs_through_the_api(self):

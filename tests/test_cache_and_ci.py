@@ -127,6 +127,43 @@ class TestCIPipeline:
             "-k backend" in command and 'not slow' in command for command in commands
         )
 
+    def test_quick_tier_runs_banks_smoke(self, workflow):
+        # The element-bank differential suite (banked vs scalar stamping)
+        # runs as its own named quick-tier step.
+        test_job = workflow["jobs"]["test"]
+        commands = [
+            step.get("run", "") for step in test_job["steps"] if isinstance(step, dict)
+        ]
+        assert any(
+            '-k "banks"' in command and 'not slow' in command for command in commands
+        )
+
+    def test_coverage_job_gates_and_uploads(self, workflow):
+        # The coverage job measures the quick tier over the installed
+        # package, fails below the pinned floor and uploads the XML report.
+        coverage = workflow["jobs"]["coverage"]
+        commands = " ".join(
+            step.get("run", "") for step in coverage["steps"] if isinstance(step, dict)
+        )
+        assert "--cov=repro" in commands
+        assert "--cov-report=xml" in commands
+        floor = int(commands.split("--cov-fail-under=")[1].split()[0])
+        assert floor >= 70  # pinned below the measured seed value, not token
+        uploads = [
+            step for step in coverage["steps"]
+            if "upload-artifact" in str(step.get("uses", ""))
+        ]
+        assert uploads and "coverage.xml" in uploads[0]["with"]["path"]
+        # the tool backing the flag is a declared dev dependency
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - py310
+            pytest.skip("tomllib unavailable")
+        with open(os.path.join(REPO_ROOT, "pyproject.toml"), "rb") as handle:
+            pyproject = tomllib.load(handle)
+        dev = pyproject["project"]["optional-dependencies"]["dev"]
+        assert any(dep.startswith("pytest-cov") for dep in dev)
+
     def test_nightly_runs_slow_tier_and_perf_smoke(self, workflow):
         nightly = workflow["jobs"]["nightly-full"]
         commands = " ".join(

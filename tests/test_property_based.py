@@ -3,7 +3,9 @@
 These exercise the paper's analytic claims and the numerical kernels over
 randomly drawn inputs: the stability circle of the resampling map, the
 structure of the state-update matrix ``Q``, the analytic RBF gradients, the
-regressor construction, and the waveform utilities.
+regressor construction, the waveform utilities, and the element-bank layer
+(random topologies and random element-to-bank partitions must assemble the
+same MNA system as the scalar path).
 """
 
 import numpy as np
@@ -11,6 +13,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.circuits.elements import (
+    Capacitor,
+    CapacitorBank,
+    Inductor,
+    InductorBank,
+    Resistor,
+    ResistorBank,
+    VoltageSource,
+)
+from repro.circuits.netlist import GROUND, Circuit
+from repro.circuits.transient import TransientOptions, TransientSolver
 from repro.core.newton import newton_solve_scalar
 from repro.core.resampling import resampled_eigenvalue, resampling_matrix
 from repro.core.stability import is_resampling_stable, simulate_scalar_test_problem
@@ -153,6 +166,178 @@ class TestNewtonProperties:
         )
         assert res.converged
         assert abs(a * res.x + np.tanh(res.x) - b) < 1e-8
+
+
+def _random_partition(rng, n: int, n_parts: int):
+    """Split ``range(n)`` into up to ``n_parts`` non-empty ordered runs."""
+    n_parts = max(1, min(n_parts, n))
+    cuts = np.sort(rng.choice(np.arange(1, n), size=n_parts - 1, replace=False)) \
+        if n_parts > 1 else np.array([], dtype=int)
+    bounds = [0, *cuts.tolist(), n]
+    return [list(range(bounds[k], bounds[k + 1])) for k in range(len(bounds) - 1)]
+
+
+def _assemble_system(circuit, backend: str, dt: float = 1e-11):
+    """Static matrix and first-step RHS through the fast assembler."""
+    from repro.perf.mna import FastPathAssembler
+
+    compiled = circuit.compile()
+    asm = FastPathAssembler(circuit, compiled, dt, "trapezoidal", 1e-12,
+                            backend=backend, compact_banks=False)
+    asm.begin_run()
+    ctx = asm.begin_step(dt)
+    A, rhs = asm.iterate(np.zeros(compiled.n_unknowns), ctx)
+    A = A if isinstance(A, np.ndarray) else A.toarray()
+    return np.asarray(A), np.asarray(rhs).copy()
+
+
+class TestElementBankProperties:
+    """Random topologies/partitions: banked == scalar MNA system and stats."""
+
+    def _ladder_elements(self, rng, n):
+        """Scalar RLC-ladder pieces with randomised values (order R, L, C)."""
+        r_vals = rng.uniform(0.5, 5.0, size=n)
+        l_vals = rng.uniform(0.5e-9, 2e-9, size=n)
+        c_vals = rng.uniform(5e-15, 50e-15, size=n)
+        resistors, inductors, capacitors = [], [], []
+        prev = "in"
+        for k in range(n):
+            mid, node = f"m{k + 1}", f"n{k + 1}"
+            resistors.append(Resistor(f"r{k}", prev, mid, r_vals[k]))
+            inductors.append(Inductor(f"l{k}", mid, node, l_vals[k]))
+            capacitors.append(Capacitor(f"c{k}", node, GROUND, c_vals[k]))
+            prev = node
+        return resistors, inductors, capacitors
+
+    def _circuits(self, seed, n, n_banks):
+        """The scalar circuit and a randomly-partitioned banked equivalent."""
+        rng = np.random.default_rng(seed)
+        resistors, inductors, capacitors = self._ladder_elements(rng, n)
+
+        scalar = Circuit("scalar")
+        scalar.add(VoltageSource("vin", "in", GROUND, 1.0))
+        for el in (*resistors, *inductors, *capacitors):
+            scalar.add(el)
+        scalar.add(Resistor("rload", f"n{n}", GROUND, 100.0))
+
+        banked = Circuit("banked")
+        banked.add(VoltageSource("vin", "in", GROUND, 1.0))
+        for p, part in enumerate(_random_partition(rng, n, n_banks)):
+            banked.add(ResistorBank(
+                f"rb{p}",
+                [resistors[k].nodes[0] for k in part],
+                [resistors[k].nodes[1] for k in part],
+                [resistors[k].resistance for k in part],
+            ))
+            banked.add(InductorBank(
+                f"lb{p}",
+                [inductors[k].nodes[0] for k in part],
+                [inductors[k].nodes[1] for k in part],
+                [inductors[k].inductance for k in part],
+            ))
+            banked.add(CapacitorBank(
+                f"cb{p}",
+                [capacitors[k].nodes[0] for k in part],
+                [capacitors[k].capacitance for k in part],
+            ))
+        banked.add(Resistor("rload", f"n{n}", GROUND, 100.0))
+        return scalar, banked
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n=st.integers(min_value=2, max_value=10),
+        n_banks=st.integers(min_value=1, max_value=4),
+        backend=st.sampled_from(["dense", "sparse"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_partition_assembles_identical_system(self, seed, n, n_banks, backend):
+        scalar, banked = self._circuits(seed, n, n_banks)
+        # Node unknowns share the sorted-name numbering, but branch unknowns
+        # live at different offsets (scalar inductors are numbered per
+        # element, banks per bank): compare through the permutation mapping
+        # each scalar unknown to its banked position.
+        sc, bc = scalar.compile(), banked.compile()
+        assert sc.n_unknowns == bc.n_unknowns
+        member = {}
+        for bank in (el for el in banked.elements if isinstance(el, InductorBank)):
+            base = bc.branch_index(bank.name)
+            for i, (a, b) in enumerate(zip(bank.nodes_a, bank.nodes_b)):
+                member[(a, b)] = base + i
+        perm = np.arange(sc.n_unknowns)
+        for name, offset in sc.branch_offset.items():
+            if name == "vin":
+                perm[offset] = bc.branch_index("vin")
+            else:  # an inductor: locate its member slot by node pair
+                el = scalar.element(name)
+                perm[offset] = member[(el.nodes[0], el.nodes[1])]
+
+        A_s, rhs_s = _assemble_system(scalar, backend)
+        A_b, rhs_b = _assemble_system(banked, backend)
+        np.testing.assert_allclose(
+            A_b[np.ix_(perm, perm)], A_s, rtol=0, atol=1e-12,
+            err_msg=f"static matrix mismatch ({backend})",
+        )
+        np.testing.assert_allclose(
+            rhs_b[perm], rhs_s, rtol=0, atol=1e-12,
+            err_msg=f"static rhs mismatch ({backend})",
+        )
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        rows=st.integers(min_value=2, max_value=4),
+        cols=st.integers(min_value=2, max_value=4),
+        n_banks=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_mesh_resistor_partition_identical_matrix(self, seed, rows, cols,
+                                                      n_banks):
+        from repro.circuits.ladder import rc_grid_circuit
+
+        rng = np.random.default_rng(seed)
+        scalar, _ = rc_grid_circuit(rows, cols, banked=False)
+        resistors = [el for el in scalar.elements if isinstance(el, Resistor)]
+        banked = Circuit("mesh-banked")
+        for el in scalar.elements:
+            if not isinstance(el, Resistor):
+                banked.add(el)  # same instances: reset() re-initialises them
+        for p, part in enumerate(_random_partition(rng, len(resistors), n_banks)):
+            banked.add(ResistorBank(
+                f"rb{p}",
+                [resistors[k].nodes[0] for k in part],
+                [resistors[k].nodes[1] for k in part],
+                [resistors[k].resistance for k in part],
+            ))
+        # only the shared "vin" owns a branch row, so the unknown numbering
+        # is identical and the systems compare entry for entry
+        for backend in ("dense", "sparse"):
+            A_s, rhs_s = _assemble_system(scalar, backend)
+            A_b, rhs_b = _assemble_system(banked, backend)
+            np.testing.assert_allclose(A_b, A_s, rtol=0, atol=1e-12)
+            np.testing.assert_allclose(rhs_b, rhs_s, rtol=0, atol=1e-12)
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n=st.integers(min_value=2, max_value=8),
+        n_banks=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_partition_matches_waveforms_and_factorizations(self, seed, n, n_banks):
+        scalar, banked = self._circuits(seed, n, n_banks)
+        waves, stats = {}, {}
+        for label, circuit in (("scalar", scalar), ("banked", banked)):
+            solver = TransientSolver(
+                circuit, 1e-11,
+                TransientOptions(backend="sparse", compact_banks=False),
+            )
+            result = solver.run(3e-10, record_nodes=[f"n{n}"], record_branches=[])
+            waves[label] = result.voltage(f"n{n}")
+            stats[label] = solver.perf_stats
+        scale = max(float(np.max(np.abs(waves["scalar"]))), 1e-30)
+        assert float(np.max(np.abs(waves["banked"] - waves["scalar"]))) / scale <= 1e-12
+        # identical solver work: one symbolic analysis, one factorization
+        for key in ("factorizations", "symbolic_factorizations",
+                    "sparse_factorizations", "cached_solves"):
+            assert stats["banked"][key] == stats["scalar"][key], key
 
 
 class TestWaveformProperties:
