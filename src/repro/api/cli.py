@@ -10,6 +10,11 @@ Three subcommands make a JSON job file a first-class artefact:
 
 ``--quick`` runs a capped smoke variant of the job (shorter span, smallest
 3-D structure) — what the CI ``cli-smoke`` step exercises.
+
+Exit codes: ``0`` clean run, ``2`` spec/IO error, ``3`` solver failure
+(typed taxonomy verdict on stderr) or a partial sweep with failed
+scenarios.  ``run`` accepts ``--max-retries`` / ``--on-nonconvergence``
+to override the spec's resilience knobs (see ``engine.max_retries``).
 """
 
 from __future__ import annotations
@@ -39,6 +44,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--output", "-o", metavar="PATH", default=None,
         help="write the full result (.json or .npz by extension)",
+    )
+    p_run.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="override engine.max_retries: rewind and re-attempt a failing "
+             "time step up to N times before giving up",
+    )
+    p_run.add_argument(
+        "--on-nonconvergence", choices=("raise", "warn", "ignore"), default=None,
+        help="override engine.on_nonconvergence: what to do with a step "
+             "that exhausts its Newton iterations",
     )
 
     p_desc = sub.add_parser("describe", help="validate a job file and print its normalised form")
@@ -77,12 +92,42 @@ def _cmd_describe(path: str) -> int:
     return 0
 
 
-def _cmd_run(path: str, quick: bool, output: str | None) -> int:
+def _health_line(health: dict) -> str:
+    """One-line health summary out of ``perf_stats["health"]``."""
+    parts = [f"ok={health.get('ok', True)}"]
+    counts = health.get("failure_counts") or {}
+    for kind in sorted(counts):
+        parts.append(f"{kind}={counts[kind]}")
+    for key in ("nonconverged_commits", "retries", "recovered_steps",
+                "dt_halvings", "backend_fallbacks"):
+        if health.get(key):
+            parts.append(f"{key}={health[key]}")
+    return ", ".join(parts)
+
+
+def _cmd_run(
+    path: str,
+    quick: bool,
+    output: str | None,
+    max_retries: int | None = None,
+    on_nonconvergence: str | None = None,
+) -> int:
+    import dataclasses
+
     from repro.api import load_spec, run
 
     spec = load_spec(path)
     if quick:
         spec = spec.quickened()
+    overrides = {}
+    if max_retries is not None:
+        overrides["max_retries"] = max_retries
+    if on_nonconvergence is not None:
+        overrides["on_nonconvergence"] = on_nonconvergence
+    if overrides:
+        spec = dataclasses.replace(
+            spec, engine=dataclasses.replace(spec.engine, **overrides)
+        )
     print(f"running {spec.kind} job {path}"
           + (f" [{spec.label}]" if spec.label else "")
           + (" (quick smoke variant)" if quick else ""))
@@ -105,17 +150,31 @@ def _cmd_run(path: str, quick: bool, output: str | None) -> int:
     stats = {k: result.perf_stats[k] for k in interesting if k in result.perf_stats}
     if stats:
         print("perf:      " + ", ".join(f"{k}={v}" for k, v in stats.items()))
+    health = result.perf_stats.get("health")
+    if health:
+        print(f"health:    {_health_line(health)}")
+    status = result.meta.get("scenario_status") or {}
+    failed = sorted(name for name, st in status.items() if st == "failed")
+    if failed:
+        failures = result.meta.get("failures") or {}
+        for name in failed:
+            record = failures.get(name) or {}
+            print(f"FAILED scenario {name}: {record.get('kind', 'unknown')}: "
+                  f"{record.get('message', '')}", file=sys.stderr)
     if output:
         if output.endswith(".npz"):
             result.save_npz(output)
         else:
             result.save_json(output)
         print(f"wrote result to {output}")
-    return 0
+    # A partial sweep completed, but not cleanly: signal it like a failure.
+    return 3 if failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro`` (returns the exit status)."""
+    from repro.resilience import SolverError
+
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
@@ -124,7 +183,15 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "describe":
             return _cmd_describe(args.job)
         if args.command == "run":
-            return _cmd_run(args.job, args.quick, args.output)
+            return _cmd_run(
+                args.job, args.quick, args.output,
+                max_retries=args.max_retries,
+                on_nonconvergence=args.on_nonconvergence,
+            )
+    except SolverError as exc:
+        # One-line taxonomy verdict: kind, step, scenario, residual.
+        print(f"solver failure: {exc.failure.describe()}", file=sys.stderr)
+        return 3
     except (ValueError, KeyError, NotImplementedError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

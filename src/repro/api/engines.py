@@ -182,11 +182,19 @@ def _link_description(spec: SimulationSpec):
 
 def _transient_options(spec: SimulationSpec):
     """The :class:`TransientOptions` a spec's engine block selects, or None."""
-    if not spec.engine.sparse_mna:
+    eng = spec.engine
+    if not eng.sparse_mna and eng.max_retries == 0 and eng.on_nonconvergence == "raise":
         return None
     from repro.circuits.transient import TransientOptions
+    from repro.resilience import RetryPolicy
 
-    return TransientOptions(backend="sparse")
+    kwargs: dict = {}
+    if eng.sparse_mna:
+        kwargs["backend"] = "sparse"
+    if eng.max_retries > 0:
+        kwargs["retry_policy"] = RetryPolicy(max_retries=eng.max_retries)
+    kwargs["on_nonconvergence"] = eng.on_nonconvergence
+    return TransientOptions(**kwargs)
 
 
 def _spec_meta(spec: SimulationSpec) -> dict:

@@ -198,9 +198,16 @@ class Result:
     def from_sweep_result(
         cls, sweep, engine: str = "sweep", meta: Optional[dict] = None
     ) -> "Result":
-        """Wrap a :class:`repro.sweep.result.SweepResult` (flattened names)."""
+        """Wrap a :class:`repro.sweep.result.SweepResult` (flattened names).
+
+        A partial sweep (quarantined scenarios that also failed their solo
+        retry) wraps cleanly: failed scenarios contribute no waveforms and
+        are reported in ``meta["scenario_status"]`` / ``meta["failures"]``.
+        """
         waveforms: Dict[str, np.ndarray] = {}
         for scenario in sweep.scenarios:
+            if scenario.name not in sweep.results:
+                continue
             result = sweep.result(scenario.name)
             for node, wave in result.node_voltages.items():
                 waveforms[f"{scenario.name}/{node}"] = wave
@@ -212,6 +219,12 @@ class Result:
             "amortised_wall_time": sweep.amortised_wall_time(),
             "scenario_names": [sc.name for sc in sweep.scenarios],
         }
+        status = getattr(sweep, "status", None)
+        if status:
+            full_meta["scenario_status"] = dict(status)
+        failures = getattr(sweep, "failures", None)
+        if failures:
+            full_meta["failures"] = dict(failures)
         full_meta.update(meta or {})
         return cls(
             times=sweep.times,

@@ -474,6 +474,17 @@ class EngineOptions:
         scenarios in one stacked pass per step
         (:class:`repro.perf.rbf_fast.BatchedPrepare`).  Sweep kind only;
         ignored elsewhere.
+    max_retries:
+        Step retries of the SPICE-class engines' resilience layer
+        (:class:`repro.resilience.RetryPolicy`): a failing time step is
+        rewound and re-attempted up to this many times (re-run, then local
+        dt-halving with boosted damping) before the failure surfaces.
+        ``0`` (default) disables retrying.  Ignored by the field engines.
+    on_nonconvergence:
+        Policy for a step that exhausts its Newton iterations after any
+        retries: ``"raise"`` (default — the job fails with a typed
+        non-convergence error), ``"warn"`` or ``"ignore"`` (commit the
+        step, counted in ``Result.perf_stats["health"]``).
     """
 
     dt: Optional[float] = None
@@ -483,6 +494,8 @@ class EngineOptions:
     sweep_family: str = "rbf"
     sparse_mna: bool = False
     batch_prepare: bool = False
+    max_retries: int = 0
+    on_nonconvergence: str = "raise"
 
     def __post_init__(self):
         object.__setattr__(self, "dt", _opt_float(self.dt, "engine.dt"))
@@ -503,6 +516,16 @@ class EngineOptions:
         for flag in ("sparse_mna", "batch_prepare"):
             if not isinstance(getattr(self, flag), bool):
                 raise ValueError(f"engine.{flag} must be true/false")
+        object.__setattr__(
+            self, "max_retries", _as_int(self.max_retries, "engine.max_retries")
+        )
+        if self.max_retries < 0:
+            raise ValueError("engine.max_retries must be non-negative")
+        if self.on_nonconvergence not in ("raise", "warn", "ignore"):
+            raise ValueError(
+                f"engine.on_nonconvergence must be 'raise', 'warn' or 'ignore', "
+                f"got {self.on_nonconvergence!r}"
+            )
 
     def to_dict(self) -> dict:
         return {
@@ -513,6 +536,8 @@ class EngineOptions:
             "sweep_family": self.sweep_family,
             "sparse_mna": self.sparse_mna,
             "batch_prepare": self.batch_prepare,
+            "max_retries": self.max_retries,
+            "on_nonconvergence": self.on_nonconvergence,
         }
 
     @classmethod
@@ -520,6 +545,7 @@ class EngineOptions:
         data = _require_mapping(data, where)
         allowed = {
             "dt", "fast", "n_cells", "variant", "sweep_family", "sparse_mna", "batch_prepare",
+            "max_retries", "on_nonconvergence",
         }
         _reject_unknown(data, allowed, where)
         return cls(
@@ -530,6 +556,8 @@ class EngineOptions:
             sweep_family=data.get("sweep_family", "rbf"),
             sparse_mna=data.get("sparse_mna", False),
             batch_prepare=data.get("batch_prepare", False),
+            max_retries=data.get("max_retries", 0),
+            on_nonconvergence=data.get("on_nonconvergence", "raise"),
         )
 
 

@@ -102,6 +102,14 @@ class Element:
     #: contributed by mixins) are inferred automatically below.
     needs_accept = False
 
+    #: whether this element's stamps honour ``ctx.dt`` per call, so the
+    #: resilience layer may advance it with locally halved sub-steps when a
+    #: step fails (see :class:`repro.resilience.RetryPolicy`).  Elements that
+    #: bind the time step at construction (e.g. the RBF macromodel, whose
+    #: regressor taps are identified at a fixed sample interval) set this to
+    #: ``False``, which disables dt-halving for circuits containing them.
+    supports_local_dt = True
+
     def __init_subclass__(cls, **kwargs):
         # Safety net: a subclass that overrides accept() without declaring
         # needs_accept would be silently skipped by the solver's accept

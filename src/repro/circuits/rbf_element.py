@@ -40,6 +40,10 @@ class MacromodelElement(Element):
     """
 
     needs_accept = True
+    # The regressor taps are identified at a fixed sample interval bound at
+    # construction; the retry ladder must not advance this element with a
+    # locally halved dt (it re-runs the step at full dt instead).
+    supports_local_dt = False
 
     def __init__(
         self,

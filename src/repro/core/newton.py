@@ -59,15 +59,18 @@ class NewtonStats:
     total_iterations: int = 0
     max_iterations: int = 0
     failures: int = 0
+    nan_failures: int = 0
     histogram: dict = dataclasses.field(default_factory=dict)
 
-    def record(self, iterations: int, converged: bool) -> None:
+    def record(self, iterations: int, converged: bool, nan: bool = False) -> None:
         """Record one scalar solve."""
         self.total_solves += 1
         self.total_iterations += iterations
         self.max_iterations = max(self.max_iterations, iterations)
         if not converged:
             self.failures += 1
+        if nan:
+            self.nan_failures += 1
         self.histogram[iterations] = self.histogram.get(iterations, 0) + 1
 
     @property
@@ -83,6 +86,7 @@ class NewtonStats:
         self.total_iterations += other.total_iterations
         self.max_iterations = max(self.max_iterations, other.max_iterations)
         self.failures += other.failures
+        self.nan_failures += other.nan_failures
         for key, value in other.histogram.items():
             self.histogram[key] = self.histogram.get(key, 0) + value
 
@@ -93,6 +97,7 @@ class NewtonStats:
             "mean_iterations": self.mean_iterations,
             "max_iterations": self.max_iterations,
             "failures": self.failures,
+            "nan_failures": self.nan_failures,
         }
 
 
@@ -131,8 +136,9 @@ def newton_solve_scalar(
     x = float(x0)
     f = float(residual(x))
     iterations = 0
-    converged = abs(f) < opts.tolerance
-    while not converged and iterations < opts.max_iterations:
+    nan = not np.isfinite(f)
+    converged = not nan and abs(f) < opts.tolerance
+    while not converged and not nan and iterations < opts.max_iterations:
         dfdx = float(derivative(x))
         if not np.isfinite(dfdx) or abs(dfdx) < opts.min_derivative:
             dfdx = np.sign(dfdx) * opts.min_derivative if dfdx != 0 else opts.min_derivative
@@ -142,9 +148,12 @@ def newton_solve_scalar(
         x = x + step
         f = float(residual(x))
         iterations += 1
-        converged = abs(f) < opts.tolerance
+        # A NaN/Inf residual can never converge — iterating to the cap
+        # would only hide the poisoned state from the caller.
+        nan = not np.isfinite(f)
+        converged = not nan and abs(f) < opts.tolerance
     if stats is not None:
-        stats.record(iterations, converged)
+        stats.record(iterations, converged, nan=nan)
     return NewtonResult(x=x, iterations=iterations, converged=converged, residual=abs(f))
 
 
@@ -167,8 +176,9 @@ def newton_solve_scalar_fused(
     f, dfdx = residual_and_derivative(x)
     f = float(f)
     iterations = 0
-    converged = abs(f) < opts.tolerance
-    while not converged and iterations < opts.max_iterations:
+    nan = not np.isfinite(f)
+    converged = not nan and abs(f) < opts.tolerance
+    while not converged and not nan and iterations < opts.max_iterations:
         dfdx = float(dfdx)
         if not np.isfinite(dfdx) or abs(dfdx) < opts.min_derivative:
             dfdx = np.sign(dfdx) * opts.min_derivative if dfdx != 0 else opts.min_derivative
@@ -179,7 +189,9 @@ def newton_solve_scalar_fused(
         f, dfdx = residual_and_derivative(x)
         f = float(f)
         iterations += 1
-        converged = abs(f) < opts.tolerance
+        # Same NaN/Inf guard as the two-callback variant: bail immediately.
+        nan = not np.isfinite(f)
+        converged = not nan and abs(f) < opts.tolerance
     if stats is not None:
-        stats.record(iterations, converged)
+        stats.record(iterations, converged, nan=nan)
     return NewtonResult(x=x, iterations=iterations, converged=converged, residual=abs(f))

@@ -25,10 +25,10 @@ import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 
 import numpy as np
 
+from repro import cache
 from repro.circuits.testbenches import (
     multilevel_excitation,
     record_fixed_state,
@@ -104,23 +104,17 @@ def _load_identified_from_disk(
 ) -> ReferenceMacromodels | None:
     """Rebuild a cached identification result; ``None`` on any failure.
 
-    Cache entries are written atomically (temp file + ``os.replace``), but a
-    concurrent CI run may still hand us a truncated/corrupt entry from an
-    older writer or a different library version.  Any failure — parse error,
-    missing key, shape mismatch inside the deserialiser — falls back to
+    The entry is a checksum-wrapped :mod:`repro.cache` document (legacy
+    pre-checksum entries still load), so a truncated or bit-flipped file
+    from a concurrent CI run fails validation instead of deserialising into
+    garbage.  Any failure — parse error, checksum mismatch, missing key,
+    shape mismatch inside the deserialiser — falls back to
     re-identification; the corrupt entry is removed (best effort) so later
-    runs do not trip over it again.
+    runs do not trip over it again, while transient ``OSError`` reads keep
+    the (possibly valid) entry and just miss.
     """
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except OSError:
-        # Transient read failure (shared CI volume hiccup): the entry may be
-        # perfectly valid, so re-identify without destroying it.
-        return None
-    except ValueError:
-        # Unparseable JSON is permanently corrupt: remove it.
-        _unlink_quietly(path)
+    payload = cache.read_json(path)
+    if payload is None:
         return None
     try:
         models = ReferenceMacromodels(
@@ -131,40 +125,25 @@ def _load_identified_from_disk(
         )
     except Exception:
         # Structurally wrong payload (old format, foreign writer): remove it.
-        _unlink_quietly(path)
+        cache.invalidate(path)
         return None
     return models
 
 
-def _unlink_quietly(path: str) -> None:
-    try:
-        os.unlink(path)
-    except OSError:
-        pass
-
-
 def _store_identified_to_disk(path: str, models: ReferenceMacromodels) -> None:
-    """Persist an identification result (best effort, atomic replace)."""
-    payload = {
-        "driver": macromodel_to_dict(models.driver),
-        "receiver": macromodel_to_dict(models.receiver),
-    }
-    try:
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(
-            dir=os.path.dirname(path), prefix=".tmp_", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_path, path)
-        except BaseException:
-            os.unlink(tmp_path)
-            raise
-    except (OSError, TypeError, ValueError):
-        # Read-only filesystem, unserialisable model field, etc.: the cache
-        # is an optimisation only and must never fail the identification.
-        pass
+    """Persist an identification result (best effort, atomic replace).
+
+    Delegates to :func:`repro.cache.atomic_write_json`: the cache is an
+    optimisation only, so a failed write (read-only filesystem,
+    unserialisable model field, ...) never fails the identification.
+    """
+    cache.atomic_write_json(
+        path,
+        {
+            "driver": macromodel_to_dict(models.driver),
+            "receiver": macromodel_to_dict(models.receiver),
+        },
+    )
 
 
 def _identify_driver(params: ReferenceDeviceParameters, n_centers: int, seed: int) -> DriverMacromodel:

@@ -66,6 +66,9 @@ except ImportError:  # pragma: no cover - exercised via tests/test_backends.py
     _csc_matrix = None
     _splu = None
 
+from repro.resilience import SINGULAR_MATRIX, SolveFailure
+from repro.resilience import faults as _faults
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.perf.mna import FastPathAssembler
 
@@ -165,6 +168,32 @@ class LinearSolverBackend:
         self.assembler = assembler
         self.stats = assembler.stats
 
+    # -- resilience hooks --------------------------------------------------
+    def _check_injected_faults(self) -> bool:
+        """Fire planted backend faults; True when a ``singular`` was taken.
+
+        ``backend_error`` faults raise immediately (the transient solver
+        classifies the exception); ``singular`` faults report True so the
+        calling solve path can divert into its degraded fallback exactly as
+        it would for a genuinely singular factorization.  Costs one module
+        attribute load when no plan is installed.
+        """
+        if _faults.PLAN is None:
+            return False
+        if _faults.take("backend_error"):
+            raise _faults.InjectedBackendError(
+                f"injected backend error ({self.name} backend)"
+            )
+        return _faults.take("singular")
+
+    def _note_singular_fallback(self, message: str, **context) -> None:
+        """Record a degraded-but-successful singular-solve recovery."""
+        scenario, step = _faults._CONTEXT
+        self.assembler.health.note_backend_fallback(SolveFailure(
+            SINGULAR_MATRIX, step=step, scenario=scenario, message=message,
+            context={"backend": self.name, **context},
+        ))
+
     # -- static assembly ---------------------------------------------------
     def adopt_shared(self, shared) -> bool:
         raise NotImplementedError
@@ -246,39 +275,60 @@ class DenseBackend(LinearSolverBackend):
     def solve(self, A, rhs) -> np.ndarray:
         asm = self.assembler
         shared = asm._shared
+        injected_singular = _faults.PLAN is not None and self._check_injected_faults()
         if asm.linear_only and _lu_factor is not None:
-            if self._lu is None and self._sparse_lu is None and shared is not None:
-                # A sharing run may have factored after our begin_run (e.g.
-                # the linear members of a mixed linear/nonlinear group, or
-                # the sweep engine's block-solve path): pick the factors up
-                # lazily instead of refactoring.
-                self._lu = shared.lu
-                self._sparse_lu = shared.sparse_lu
-            if self._sparse_lu is not None:
-                self.stats["cached_solves"] += 1
-                x = self._sparse_lu.solve(rhs)
+            if injected_singular:
+                # Treat exactly like a factorization that came back
+                # singular: drop the cached factors and divert to the dense
+                # re-solve below.  ``dgesv`` is ``getrf``+``getrs`` — the
+                # same factorization ``lu_factor``/``lu_solve`` performs —
+                # so the recovered step is bit-identical to the cached path.
+                self._lu = None
+                self._sparse_lu = None
+                if shared is not None:
+                    shared.lu = None
+                    shared.sparse_lu = None
+                self._note_singular_fallback(
+                    "injected singular factorization; dense re-solve",
+                    injected=True,
+                )
             else:
-                if self._lu is None:
-                    self._lu = _lu_factor(A, check_finite=False)
-                    self.stats["factorizations"] += 1
-                    if shared is not None:
-                        shared.lu = self._lu
-                        shared.stats["factorizations"] += 1
-                else:
+                if self._lu is None and self._sparse_lu is None and shared is not None:
+                    # A sharing run may have factored after our begin_run (e.g.
+                    # the linear members of a mixed linear/nonlinear group, or
+                    # the sweep engine's block-solve path): pick the factors up
+                    # lazily instead of refactoring.
+                    self._lu = shared.lu
+                    self._sparse_lu = shared.sparse_lu
+                if self._sparse_lu is not None:
                     self.stats["cached_solves"] += 1
-                x = _lu_solve(self._lu, rhs, check_finite=False)
-            if np.all(np.isfinite(x)):
-                return x
-            # Singular / ill-posed system: fall through to the robust path.
-            self._lu = None
-            self._sparse_lu = None
-            if shared is not None:
-                shared.lu = None
-                shared.sparse_lu = None
+                    x = self._sparse_lu.solve(rhs)
+                else:
+                    if self._lu is None:
+                        self._lu = _lu_factor(A, check_finite=False)
+                        self.stats["factorizations"] += 1
+                        if shared is not None:
+                            shared.lu = self._lu
+                            shared.stats["factorizations"] += 1
+                    else:
+                        self.stats["cached_solves"] += 1
+                    x = _lu_solve(self._lu, rhs, check_finite=False)
+                if np.all(np.isfinite(x)):
+                    return x
+                # Singular / ill-posed system: fall through to the robust path.
+                self._lu = None
+                self._sparse_lu = None
+                if shared is not None:
+                    shared.lu = None
+                    shared.sparse_lu = None
+                self._note_singular_fallback(
+                    "cached factorization produced non-finite solution; "
+                    "dense re-solve",
+                )
         self.stats["dense_solves"] += 1
         if not asm.linear_only:
             self.stats["factorizations"] += 1
-        if _dgesv is not None:
+        if _dgesv is not None and not (injected_singular and not asm.linear_only):
             # Raw LAPACK gesv: same factorization as np.linalg.solve (the
             # results are bit-identical) without the wrapper overhead, which
             # is significant at typical circuit sizes.  ``A`` stays intact
@@ -287,10 +337,23 @@ class DenseBackend(LinearSolverBackend):
             _, _, x, info = _dgesv(self._A_solve, rhs, overwrite_a=1, overwrite_b=0)
             if info == 0:
                 return x
+            self._note_singular_fallback(
+                f"dgesv reported singular factor (info={int(info)}); "
+                "least-squares fallback",
+            )
+            return np.linalg.lstsq(A, rhs, rcond=None)[0]
+        if injected_singular and not asm.linear_only:
+            self._note_singular_fallback(
+                "injected singular solve; least-squares fallback",
+                injected=True,
+            )
             return np.linalg.lstsq(A, rhs, rcond=None)[0]
         try:
             return np.linalg.solve(A, rhs)
         except np.linalg.LinAlgError:
+            self._note_singular_fallback(
+                "dense solve singular; least-squares fallback",
+            )
             return np.linalg.lstsq(A, rhs, rcond=None)[0]
 
 
@@ -506,14 +569,29 @@ class SparseBackend(LinearSolverBackend):
     def solve(self, A, rhs) -> np.ndarray:
         asm = self.assembler
         shared = asm._shared
-        if asm.linear_only:
+        injected_singular = _faults.PLAN is not None and self._check_injected_faults()
+        if injected_singular:
+            # As if splu had reported the system singular: drop any cached
+            # factors and divert to the dense robust fallback below.
+            lu = None
+            self._lu = None
+            if shared is not None:
+                shared.sparse_lu = None
+            self._note_singular_fallback(
+                "injected singular sparse factorization; dense fallback",
+                injected=True,
+            )
+        elif asm.linear_only:
             if self._lu is None and shared is not None:
                 self._lu = shared.sparse_lu
             if self._lu is None:
                 try:
                     self._lu = _splu(A)
-                except RuntimeError:  # structurally/numerically singular
+                except RuntimeError as exc:  # structurally/numerically singular
                     self._lu = None
+                    self._note_singular_fallback(
+                        str(exc) or "splu factorization failed; dense fallback",
+                    )
                 else:
                     self.stats["factorizations"] += 1
                     self.stats["sparse_factorizations"] += 1
@@ -526,8 +604,11 @@ class SparseBackend(LinearSolverBackend):
         else:
             try:
                 lu = _splu(A)
-            except RuntimeError:  # structurally/numerically singular
+            except RuntimeError as exc:  # structurally/numerically singular
                 lu = None
+                self._note_singular_fallback(
+                    str(exc) or "splu factorization failed; dense fallback",
+                )
             self.stats["factorizations"] += 1
             self.stats["sparse_factorizations"] += 1
         if lu is not None:
@@ -538,6 +619,10 @@ class SparseBackend(LinearSolverBackend):
                 self._lu = None
                 if shared is not None:
                     shared.sparse_lu = None
+            self._note_singular_fallback(
+                "sparse factorization produced non-finite solution; "
+                "dense fallback",
+            )
         # Singular / ill-posed system: dense robust fallback (rare path).
         self.stats["dense_solves"] += 1
         dense = A.toarray()

@@ -63,6 +63,8 @@ from repro.perf.backends import (
     _splu,
     _csc_matrix,
 )
+from repro.resilience import SINGULAR_MATRIX, RunHealth, SolveFailure
+from repro.resilience import faults as _faults
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.circuits.netlist import Circuit, CompiledCircuit
@@ -224,6 +226,9 @@ class SharedStaticContext:
         self.sparse_state: tuple | None = None
         self.signature: tuple | None = None
         self.stats = {"factorizations": 0, "static_reuses": 0, "block_solves": 0}
+        #: health telemetry of the shared solve paths (the sweep engine
+        #: merges this into its aggregate run health)
+        self.health = RunHealth()
         self._factorization_failed = False
         self._dense_cache: np.ndarray | None = None
 
@@ -248,14 +253,18 @@ class SharedStaticContext:
             raise RuntimeError("no static matrix captured yet")
         if self.lu is not None or self.sparse_lu is not None or self._factorization_failed:
             return
+        if _faults.PLAN is not None and _faults.take("singular"):
+            self._note_singular("injected singular static factorization",
+                                injected=True)
+            return
         if self.sparse_state is not None:
             try:
                 self.sparse_lu = _splu(self.sparse_state[3])
-            except RuntimeError:
+            except RuntimeError as exc:
                 # Singular static matrix: remember the failure so per-step
                 # solve_block calls do not retry the factorization, and let
                 # the dense lstsq fallback below handle the solves.
-                self._factorization_failed = True
+                self._note_singular(str(exc) or "static splu factorization failed")
                 return
         elif _lu_factor is None:
             return  # scipy-less fallback: solve_block uses dense solves
@@ -264,6 +273,14 @@ class SharedStaticContext:
         else:
             self.lu = _lu_factor(self.A_static, check_finite=False)
         self.stats["factorizations"] += 1
+
+    def _note_singular(self, message: str, **context) -> None:
+        """Record a singular static factorization in the unified taxonomy."""
+        self._factorization_failed = True
+        self.health.note_backend_fallback(SolveFailure(
+            SINGULAR_MATRIX, message=message,
+            context={"site": "shared_static", **context},
+        ))
 
     def _dense_static(self) -> np.ndarray:
         """The captured static matrix as a dense array (robust fallback)."""
@@ -286,8 +303,16 @@ class SharedStaticContext:
                 x = np.linalg.solve(self._dense_static(), rhs_block)
             except np.linalg.LinAlgError:  # exactly singular: robust path below
                 x = np.full_like(rhs_block, np.nan)
+        if _faults.PLAN is not None and _faults.take("singular"):
+            x = np.full_like(x, np.nan)
         if not np.all(np.isfinite(x)):
-            # Singular/ill-posed system: per-column robust fallback.
+            # Singular/ill-posed system: per-column robust fallback, counted
+            # through the same taxonomy as every other singular-solve event.
+            self.health.note_backend_fallback(SolveFailure(
+                SINGULAR_MATRIX,
+                message="block solve singular/non-finite; least-squares fallback",
+                context={"site": "solve_block", "columns": int(rhs_block.shape[1])},
+            ))
             dense = self._dense_static()
             x = np.stack(
                 [
@@ -322,6 +347,12 @@ class FastPathAssembler:
         ``REPRO_BANK_COMPACTION`` environment switch).  Compaction changes
         neither the unknown numbering nor the stamped values — only how
         many Python calls each step costs.
+    health:
+        Optional :class:`~repro.resilience.RunHealth` accumulator the
+        backends record degraded solves (singular fallbacks) into; the
+        transient solver passes its own so backend events land in the same
+        telemetry as step-level failures.  A private one is created when
+        omitted.
     """
 
     def __init__(
@@ -334,6 +365,7 @@ class FastPathAssembler:
         shared: SharedStaticContext | None = None,
         backend: str | None = None,
         compact_banks: bool | None = None,
+        health: RunHealth | None = None,
     ):
         self.circuit = circuit
         self.compiled = compiled
@@ -341,6 +373,7 @@ class FastPathAssembler:
         self.method = method
         self.gmin = float(gmin)
         self._shared = shared
+        self.health = health if health is not None else RunHealth()
         self.compact_banks = resolve_bank_compaction(compact_banks)
 
         elements = list(circuit.elements)

@@ -29,6 +29,7 @@ contract.
 from __future__ import annotations
 
 import time as _time
+import warnings
 from collections import defaultdict
 from typing import Callable, Dict, Iterable, Optional, Sequence
 
@@ -39,6 +40,16 @@ from repro.circuits.netlist import Circuit
 from repro.circuits.transient import TransientOptions, TransientSolver
 from repro.perf.mna import SharedStaticContext
 from repro.perf.rbf_fast import BatchedPrepare, batch_key, prewarm_ports
+from repro.resilience import (
+    BACKEND_ERROR,
+    NAN_INF,
+    NON_CONVERGENCE,
+    SINGULAR_MATRIX,
+    RunHealth,
+    SolveFailure,
+    SolverError,
+)
+from repro.resilience import faults as _faults
 from repro.sweep.result import SweepResult
 from repro.sweep.scenario import Scenario
 
@@ -110,33 +121,66 @@ class CircuitSweep:
         self.batch_prepare = bool(batch_prepare)
 
     # -- sequential oracle -------------------------------------------------
-    def run_sequential(self) -> SweepResult:
-        """Run every scenario as an independent cold transient (no sharing).
+    def _solo_run(self, scenario: Scenario):
+        """Run one scenario standalone; ``(solver, result | None, failure | None)``.
 
-        This is the equivalence oracle and the timing baseline the batched
-        path is measured against: each scenario pays its own compile,
-        assembly, factorization and per-step solves.
+        A typed :class:`~repro.resilience.SolverError` is caught and
+        returned as its structured failure record — fault isolation means
+        one scenario's failure never aborts the rest of the sweep.
         """
-        start = _time.perf_counter()
-        results: Dict[str, object] = {}
-        times = None
-        for scenario in self.scenarios:
-            solver = TransientSolver(self.builder(scenario), self.dt, options=self.options)
-            iv = self.initial_voltages(scenario) if self.initial_voltages else None
+        solver = TransientSolver(
+            self.builder(scenario), self.dt, options=self.options,
+            label=scenario.name,
+        )
+        iv = self.initial_voltages(scenario) if self.initial_voltages else None
+        try:
             result = solver.run(
                 self.duration,
                 record_nodes=self.record_nodes,
                 record_branches=self.record_branches,
                 initial_voltages=iv,
             )
+        except SolverError as exc:
+            return solver, None, exc.failure
+        return solver, result, None
+
+    def run_sequential(self) -> SweepResult:
+        """Run every scenario as an independent cold transient (no sharing).
+
+        This is the equivalence oracle and the timing baseline the batched
+        path is measured against: each scenario pays its own compile,
+        assembly, factorization and per-step solves.  Scenarios are fault
+        isolated: a failing scenario is reported in the partial result's
+        ``status``/``failures`` instead of aborting the sweep.
+        """
+        start = _time.perf_counter()
+        results: Dict[str, object] = {}
+        status: Dict[str, str] = {}
+        failures: Dict[str, dict] = {}
+        health = RunHealth()
+        times = None
+        for scenario in self.scenarios:
+            solver, result, failure = self._solo_run(scenario)
+            health.merge(solver.health)
+            if failure is not None:
+                status[scenario.name] = "failed"
+                failures[scenario.name] = failure.to_dict()
+                continue
             results[scenario.name] = result
+            status[scenario.name] = "ok"
             times = result.times
         return SweepResult(
             times=times,
             scenarios=self.scenarios,
             results=results,
-            perf_stats={"mode": "sequential", "n_scenarios": len(self.scenarios)},
+            perf_stats={
+                "mode": "sequential",
+                "n_scenarios": len(self.scenarios),
+                "health": health.to_dict(),
+            },
             wall_time=_time.perf_counter() - start,
+            status=status,
+            failures=failures,
         )
 
     # -- batched lockstep run ----------------------------------------------
@@ -154,7 +198,7 @@ class CircuitSweep:
             solvers.append(
                 TransientSolver(
                     self.builder(scenario), self.dt, options=self.options,
-                    shared_static=shared,
+                    shared_static=shared, label=scenario.name,
                 )
             )
 
@@ -228,20 +272,102 @@ class CircuitSweep:
         rhs_blocks = [
             np.empty((runs[idxs[0]].x.size, len(idxs))) for _, idxs in direct
         ]
+        #: quarantined scenario index -> failure that evicted it from the batch
+        failed: Dict[int, SolveFailure] = {}
+
+        def quarantine(i: int, kind: str, message: str, **context) -> None:
+            run = runs[i]
+            run.step_converged = False
+            failed[i] = solvers[i]._record_failure(run, kind, message, **context)
+
+        def handle_nonconverged(i: int, injected: bool) -> None:
+            # An exhausted (or fault-forced) Newton loop follows the same
+            # on_nonconvergence policy as a standalone run: strict default
+            # quarantines the scenario, warn/ignore commit with telemetry.
+            run = runs[i]
+            if self.options.on_nonconvergence == "raise":
+                context = {"injected": True} if injected else {"iterations": run.newton_count}
+                quarantine(
+                    i, NON_CONVERGENCE,
+                    "injected non-convergence" if injected
+                    else f"Newton cap of {cap} iterations hit",
+                    **context,
+                )
+                return
+            solver, run = solvers[i], runs[i]
+            solver.health.record(SolveFailure(
+                NON_CONVERGENCE, step=run.step, scenario=self.scenarios[i].name,
+                residual=run.last_residual,
+                message="injected non-convergence" if injected
+                else f"Newton cap of {cap} iterations hit",
+            ))
+            solver.health.nonconverged_commits += 1
+            run.step_converged = True  # commit per policy
+            if self.options.on_nonconvergence == "warn":
+                warnings.warn(
+                    f"sweep scenario {self.scenarios[i].name!r} committed "
+                    f"step {run.step} without convergence",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+
         for step in range(n_steps):
-            for solver, run in zip(solvers, runs):
-                solver.begin_step(run)
+            for i, (solver, run) in enumerate(zip(solvers, runs)):
+                if i not in failed:
+                    solver.begin_step(run)
 
             for (ctx, idxs), rhs_block in zip(direct, rhs_blocks):
-                for col, i in enumerate(idxs):
-                    rhs_block[:, col] = runs[i].assembler.rhs_static
-                solution = ctx.solve_block(rhs_block)
-                for col, i in enumerate(idxs):
-                    runs[i].x = np.ascontiguousarray(solution[:, col])
-                    runs[i].newton_count = 1
-                    runs[i].step_converged = True
+                live = [i for i in idxs if i not in failed]
+                if not live:
+                    continue
+                block = rhs_block[:, : len(live)]
+                for col, i in enumerate(live):
+                    block[:, col] = runs[i].assembler.rhs_static
+                try:
+                    solution = ctx.solve_block(block)
+                except np.linalg.LinAlgError as exc:
+                    for i in live:
+                        quarantine(i, SINGULAR_MATRIX,
+                                   str(exc) or "singular block solve",
+                                   site="solve_block")
+                    continue
+                except RuntimeError as exc:
+                    for i in live:
+                        quarantine(i, BACKEND_ERROR,
+                                   str(exc) or type(exc).__name__,
+                                   site="solve_block",
+                                   exception=type(exc).__name__)
+                    continue
+                for col, i in enumerate(live):
+                    run = runs[i]
+                    name = self.scenarios[i].name
+                    column = solution[:, col]
+                    if _faults.PLAN is not None and _faults.take("nan", run.step, name):
+                        column = np.full_like(column, np.nan)
+                    if not np.all(np.isfinite(column)):
+                        quarantine(i, NAN_INF,
+                                   "non-finite block-solve solution",
+                                   site="solve_block")
+                        continue
+                    if _faults.PLAN is not None and _faults.take(
+                        "nonconvergence", run.step, name
+                    ):
+                        handle_nonconverged(i, injected=True)
+                        if i in failed:
+                            continue
+                    run.x = np.ascontiguousarray(column)
+                    run.newton_count = 1
+                    run.step_converged = True
 
-            active = set(newton_indices)
+            active = {i for i in newton_indices if i not in failed}
+            # Forced non-convergence faults are consumed once per step
+            # attempt, matching the standalone solver's semantics.
+            forced: set[int] = set()
+            if _faults.PLAN is not None:
+                for i in tuple(active):
+                    if _faults.take("nonconvergence", runs[i].step,
+                                    self.scenarios[i].name):
+                        forced.add(i)
             while active:
                 for group in port_groups:
                     live = [(idx, el) for idx, el in group if idx in active]
@@ -255,17 +381,60 @@ class CircuitSweep:
                         stats["batched_rbf_evals"] += len(live)
                 for i in tuple(active):
                     solver, run = solvers[i], runs[i]
-                    solver.newton_iteration(run)
+                    try:
+                        solver.newton_iteration(run)
+                    except np.linalg.LinAlgError as exc:
+                        active.discard(i)
+                        quarantine(i, SINGULAR_MATRIX,
+                                   str(exc) or "singular matrix",
+                                   site="newton_iteration")
+                        continue
+                    except RuntimeError as exc:
+                        active.discard(i)
+                        quarantine(i, BACKEND_ERROR,
+                                   str(exc) or type(exc).__name__,
+                                   site="newton_iteration",
+                                   exception=type(exc).__name__)
+                        continue
+                    if run.failure is not None:
+                        # newton_iteration already recorded it (NaN guard)
+                        active.discard(i)
+                        failed[i] = run.failure
+                        continue
                     if run.step_converged or run.newton_count >= cap:
                         active.discard(i)
+                        if i in forced or not run.step_converged:
+                            handle_nonconverged(i, injected=i in forced)
 
-            for solver, run in zip(solvers, runs):
-                solver.end_step(run)
+            for i, (solver, run) in enumerate(zip(solvers, runs)):
+                if i not in failed:
+                    solver.end_step(run)
 
-        results = {
-            scenario.name: solver.finish(run)
-            for scenario, solver, run in zip(self.scenarios, solvers, runs)
-        }
+        results: Dict[str, object] = {}
+        status: Dict[str, str] = {}
+        failures_out: Dict[str, dict] = {}
+        for i, (scenario, solver, run) in enumerate(zip(self.scenarios, solvers, runs)):
+            if i in failed:
+                solver._sync_health()  # failed runs never reach finish()
+                continue
+            results[scenario.name] = solver.finish(run)
+            status[scenario.name] = "ok"
+
+        # Quarantined scenarios get one solo retry outside the lockstep
+        # batch: a transient fault (consumed injection, poisoned shared
+        # state) completes cleanly; a persistent one yields its structured
+        # failure in the partial result.
+        solo_solvers: list[TransientSolver] = []
+        for i in sorted(failed):
+            scenario = self.scenarios[i]
+            solo_solver, result, failure = self._solo_run(scenario)
+            solo_solvers.append(solo_solver)
+            if result is not None:
+                results[scenario.name] = result
+                status[scenario.name] = "recovered"
+            else:
+                status[scenario.name] = "failed"
+                failures_out[scenario.name] = failure.to_dict()
         if fast:
             stats["shared_factorizations"] = sum(
                 ctx.stats["factorizations"] for ctx in contexts.values()
@@ -285,10 +454,24 @@ class CircuitSweep:
                 scenario.name: solver.perf_stats
                 for scenario, solver in zip(self.scenarios, solvers)
             }
+        health = RunHealth()
+        for solver in solvers:
+            health.merge(solver.health)
+        for ctx in contexts.values():
+            health.merge(ctx.health)
+        for solver in solo_solvers:
+            health.merge(solver.health)
+        stats["health"] = health.to_dict()
+        stats["quarantined_scenarios"] = sorted(
+            self.scenarios[i].name for i in failed
+        )
+        stats["solo_retries"] = len(solo_solvers)
         return SweepResult(
             times=runs[0].times,
             scenarios=self.scenarios,
             results=results,
             perf_stats=stats,
             wall_time=_time.perf_counter() - start,
+            status=status,
+            failures=failures_out,
         )

@@ -32,11 +32,17 @@ class EyeReportRow:
 
 @dataclasses.dataclass
 class SweepEyeReport:
-    """Per-scenario eye metrics and the worst-case corners of the sweep."""
+    """Per-scenario eye metrics and the worst-case corners of the sweep.
+
+    Failed scenarios of a partial sweep have no waveform to fold; they are
+    listed in :attr:`failed` instead of contributing rows, so the
+    worst-case corners summarise only the scenarios that completed.
+    """
 
     node: str
     bit_time: float
     rows: List[EyeReportRow]
+    failed: List[str] = dataclasses.field(default_factory=list)
 
     @property
     def worst_height(self) -> EyeReportRow:
@@ -56,6 +62,7 @@ class SweepEyeReport:
             "scenarios": [dataclasses.asdict(row) for row in self.rows],
             "worst_height_scenario": self.worst_height.scenario,
             "worst_width_scenario": self.worst_width.scenario,
+            "failed_scenarios": list(self.failed),
         }
 
     def format(self) -> str:
@@ -80,6 +87,8 @@ class SweepEyeReport:
             f"worst eye width:  {self.worst_width.scenario} "
             f"({self.worst_width.eye_width*1e12:.4g} ps)"
         )
+        if self.failed:
+            worst += f"\nfailed scenarios (no eye): {', '.join(self.failed)}"
         return f"{table}\n{worst}"
 
 
@@ -108,7 +117,10 @@ def eye_report(
         discarded before folding.
     """
     rows = []
+    failed = [sc.name for sc in sweep.scenarios if sc.name not in sweep.results]
     for scenario in sweep.scenarios:
+        if scenario.name not in sweep.results:
+            continue
         eye = sweep.eye(scenario.name, node, bit_time, t_start=t_start)
         metrics = eye.metrics(low, high)
         rows.append(
@@ -121,4 +133,8 @@ def eye_report(
                 v_max=metrics["v_max"],
             )
         )
-    return SweepEyeReport(node=node, bit_time=bit_time, rows=rows)
+    if not rows:
+        raise ValueError(
+            f"no completed scenarios to report on (failed: {failed})"
+        )
+    return SweepEyeReport(node=node, bit_time=bit_time, rows=rows, failed=failed)

@@ -32,6 +32,16 @@ class SweepResult:
         assembler stats.
     wall_time:
         Wall-clock duration of the whole sweep in seconds.
+    status:
+        Per-scenario outcome: ``"ok"`` (clean), ``"recovered"`` (failed in
+        the lockstep batch but completed on its solo retry — its waveforms
+        are present and valid), or ``"failed"`` (no result; see
+        :attr:`failures`).  A sweep predating fault isolation may leave
+        this empty, in which case every scenario with a result is ``"ok"``.
+    failures:
+        Mapping scenario name -> structured failure record
+        (:meth:`repro.resilience.SolveFailure.to_dict`) for every
+        ``"failed"`` scenario of a partial sweep.
     """
 
     times: np.ndarray
@@ -39,11 +49,39 @@ class SweepResult:
     results: Dict[str, CircuitResult]
     perf_stats: dict = dataclasses.field(default_factory=dict)
     wall_time: float = 0.0
+    status: Dict[str, str] = dataclasses.field(default_factory=dict)
+    failures: Dict[str, dict] = dataclasses.field(default_factory=dict)
 
     @property
     def n_scenarios(self) -> int:
         """Number of scenarios in the sweep."""
         return len(self.scenarios)
+
+    # -- partial-sweep accessors ------------------------------------------
+    def status_of(self, name: str) -> str:
+        """Outcome of one scenario (``"ok"`` / ``"recovered"`` / ``"failed"``)."""
+        if name in self.status:
+            return self.status[name]
+        return "ok" if name in self.results else "failed"
+
+    @property
+    def ok(self) -> bool:
+        """Whether every scenario produced a result."""
+        return all(sc.name in self.results for sc in self.scenarios)
+
+    @property
+    def failed_scenarios(self) -> List[str]:
+        """Names of the scenarios that produced no result, in run order."""
+        return [sc.name for sc in self.scenarios if sc.name not in self.results]
+
+    @property
+    def completed_scenarios(self) -> List[str]:
+        """Names of the scenarios that produced a result, in run order."""
+        return [sc.name for sc in self.scenarios if sc.name in self.results]
+
+    def failure_of(self, name: str) -> dict | None:
+        """Structured failure record of a failed scenario (else ``None``)."""
+        return self.failures.get(name)
 
     def scenario(self, name: str) -> Scenario:
         """Scenario lookup by name."""
@@ -57,6 +95,13 @@ class SweepResult:
         try:
             return self.results[name]
         except KeyError as exc:
+            failure = self.failures.get(name)
+            if failure is not None:
+                raise KeyError(
+                    f"scenario {name!r} failed ({failure.get('kind')}: "
+                    f"{failure.get('message')}); completed scenarios: "
+                    f"{sorted(self.results)}"
+                ) from exc
             raise KeyError(
                 f"no result for scenario {name!r}; available: {sorted(self.results)}"
             ) from exc

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
+import sys
 
 import pytest
 
@@ -11,6 +13,66 @@ from repro.experiments import devices as dev
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 WORKFLOW = os.path.join(REPO_ROOT, ".github", "workflows", "ci.yml")
+LINEAR_JOB = os.path.join("examples", "jobs", "linear_link.json")
+
+
+def _invoke_cli(*args: str, fault_plan: str | None = None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    if fault_plan is not None:
+        env["REPRO_FAULT_PLAN"] = fault_plan
+    else:
+        env.pop("REPRO_FAULT_PLAN", None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
+
+
+class TestResilienceCLI:
+    def test_clean_run_prints_health_and_exits_zero(self):
+        out = _invoke_cli("run", LINEAR_JOB, "--quick")
+        assert out.returncode == 0, out.stderr
+        assert "health:" in out.stdout
+        assert "ok=True" in out.stdout
+
+    def test_resilience_flags_are_accepted(self):
+        out = _invoke_cli(
+            "run", LINEAR_JOB, "--quick",
+            "--max-retries", "2", "--on-nonconvergence", "warn",
+        )
+        assert out.returncode == 0, out.stderr
+        assert "health:" in out.stdout
+
+    def test_poisoned_scenario_exits_nonzero_with_taxonomy_line(self):
+        out = _invoke_cli(
+            "run", LINEAR_JOB, "--quick",
+            fault_plan="nan@*x*:scenario=010/weak-load",
+        )
+        assert out.returncode == 3, out.stdout + out.stderr
+        assert "FAILED scenario 010/weak-load" in out.stderr
+        assert "nan_inf" in out.stderr
+        # The other scenarios still completed and were summarised.
+        assert "health:" in out.stdout
+
+    def test_transient_fault_recovers_to_exit_zero(self):
+        out = _invoke_cli(
+            "run", LINEAR_JOB, "--quick",
+            fault_plan="nan@5:scenario=010/nominal",
+        )
+        assert out.returncode == 0, out.stdout + out.stderr
+        assert "health:" in out.stdout
+        assert "nan_inf=1" in out.stdout
+
+    def test_nonconvergence_warn_override_commits(self):
+        out = _invoke_cli(
+            "run", LINEAR_JOB, "--quick", "--on-nonconvergence", "warn",
+            fault_plan="nonconvergence@5:scenario=010/nominal",
+        )
+        assert out.returncode == 0, out.stdout + out.stderr
+        assert "nonconverged_commits=1" in out.stdout
 
 
 class TestIdentificationCacheRobustness:
@@ -42,10 +104,11 @@ class TestIdentificationCacheRobustness:
         # Corrupt entry fell back to (stubbed) re-identification, did not raise.
         assert calls == {"driver": 1, "receiver": 1}
         assert models.source == "identified"
-        # The entry was rewritten with a valid payload.
+        # The entry was rewritten as a checksum-wrapped cache document.
         with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-        assert set(payload) == {"driver", "receiver"}
+            document = json.load(handle)
+        assert set(document) == {"cache_format", "checksum", "payload"}
+        assert set(document["payload"]) == {"driver", "receiver"}
 
         # A fresh process (cleared memory cache) now loads it from disk.
         monkeypatch.setattr(dev, "_CACHE", {})
@@ -137,6 +200,30 @@ class TestCIPipeline:
         assert any(
             '-k "banks"' in command and 'not slow' in command for command in commands
         )
+
+    def test_quick_tier_runs_resilience_smoke(self, workflow):
+        # The fault-injection/retry/quarantine suite runs as its own named
+        # quick-tier step.
+        test_job = workflow["jobs"]["test"]
+        commands = [
+            step.get("run", "") for step in test_job["steps"] if isinstance(step, dict)
+        ]
+        assert any(
+            "-k resilience" in command and 'not slow' in command
+            for command in commands
+        )
+
+    def test_nightly_runs_resilience_fault_matrix(self, workflow):
+        # The nightly tier drives the full resilience suite plus CLI-level
+        # fault plans: a transient fault that must recover (exit 0) and a
+        # poisoned scenario that must exit 3.
+        nightly = workflow["jobs"]["nightly-full"]
+        commands = " ".join(
+            step.get("run", "") for step in nightly["steps"] if isinstance(step, dict)
+        )
+        assert "tests/test_resilience.py" in commands
+        assert "REPRO_FAULT_PLAN=" in commands
+        assert "-eq 3" in commands
 
     def test_coverage_job_gates_and_uploads(self, workflow):
         # The coverage job measures the quick tier over the installed
