@@ -1,0 +1,159 @@
+"""CI smoke of the service daemon: boot, round-trip, cache-hit, shutdown.
+
+Starts ``python -m repro serve`` as a real subprocess (the exact artifact
+a deployment runs), then drives the documented client workflow against
+it over HTTP:
+
+1. wait for ``GET /healthz``;
+2. ``POST /jobs?quick=1`` with ``examples/jobs/linear_link.json``;
+3. poll ``GET /jobs/<id>`` to completion and assert a healthy run;
+4. fetch ``GET /jobs/<id>/result`` and ``/waveforms`` and sanity-check
+   both artifacts;
+5. resubmit the identical spec and assert the content-addressed cache
+   served it: ``cache_hit`` true, ``solves`` still 1, response bytes
+   identical.
+
+Exit code 0 on success; any assertion or timeout fails the step.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py [job.json]
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_JOB = os.path.join(REPO, "examples", "jobs", "linear_link.json")
+STARTUP_TIMEOUT = 30.0
+JOB_TIMEOUT = 120.0
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def get(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=30) as response:
+        return response.status, response.read()
+
+
+def get_json(base: str, path: str):
+    status, body = get(base, path)
+    return status, json.loads(body)
+
+
+def post_json(base: str, path: str, document: dict):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(document).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def wait_for_daemon(base: str, process: subprocess.Popen) -> None:
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(f"daemon exited early with code {process.returncode}")
+        try:
+            status, health = get_json(base, "/healthz")
+            assert status == 200 and health["status"] == "ok", health
+            return
+        except (urllib.error.URLError, ConnectionError):
+            time.sleep(0.1)
+    raise AssertionError(f"daemon not reachable within {STARTUP_TIMEOUT}s")
+
+
+def wait_for_job(base: str, job_id: str) -> dict:
+    deadline = time.monotonic() + JOB_TIMEOUT
+    while time.monotonic() < deadline:
+        _status, doc = get_json(base, f"/jobs/{job_id}")
+        if doc["state"] in ("done", "failed"):
+            return doc
+        time.sleep(0.2)
+    raise AssertionError(f"job {job_id} did not finish within {JOB_TIMEOUT}s")
+
+
+def main() -> int:
+    job_path = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_JOB
+    with open(job_path, "r", encoding="utf-8") as handle:
+        spec = json.load(handle)
+
+    port = free_port()
+    base = f"http://127.0.0.1:{port}"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    scratch = None
+    if "REPRO_CACHE_DIR" not in env:
+        scratch = tempfile.mkdtemp(prefix="repro-smoke-")
+        env["REPRO_CACHE_DIR"] = scratch
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port), "--workers", "1"],
+        env=env, cwd=REPO,
+    )
+    try:
+        wait_for_daemon(base, process)
+
+        # submit -> poll -> fetch
+        status, submitted = post_json(base, "/jobs?quick=1", spec)
+        assert status in (200, 202), (status, submitted)
+        doc = wait_for_job(base, submitted["job_id"])
+        assert doc["state"] == "done", doc
+        assert doc["health"]["ok"] is True, doc
+
+        status, body = get(base, f"/jobs/{submitted['job_id']}/result")
+        assert status == 200
+        result = json.loads(body)
+        assert result["waveforms"] and all(result["waveforms"].values()), "empty waveforms"
+        assert len(result["times"]) == result["n_samples"] > 0
+
+        import numpy as np
+
+        _status, npz_body = get(base, f"/jobs/{submitted['job_id']}/waveforms")
+        archive = np.load(io.BytesIO(npz_body))
+        assert "times" in archive.files and len(archive.files) >= 2, archive.files
+
+        # identical resubmission: zero additional solver work
+        status, resubmitted = post_json(base, "/jobs?quick=1", spec)
+        assert resubmitted["cache_hit"] is True, resubmitted
+        assert resubmitted["state"] == "done", resubmitted
+        _status, body2 = get(base, f"/jobs/{resubmitted['job_id']}/result")
+        assert body2 == body, "cached result is not byte-identical"
+        _status, health = get_json(base, "/healthz")
+        assert health["jobs"]["solves"] == 1, health["jobs"]
+        assert health["jobs"]["cache_hits"] == 1, health["jobs"]
+
+        print(f"service-smoke ok: {len(result['waveforms'])} waveforms x "
+              f"{result['n_samples']} samples; 2 submissions, "
+              f"{health['jobs']['solves']} solve, "
+              f"{health['jobs']['cache_hits']} cache hit")
+        return 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

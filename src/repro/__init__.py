@@ -20,11 +20,24 @@ The package is organised by subsystem:
 * :mod:`repro.structures` — the two structures of the paper's evaluation.
 * :mod:`repro.experiments` — one module per figure, regenerating the
   paper's curves and comparison metrics.
-
+* :mod:`repro.perf` — fast-path kernels and the pluggable
+  ``LinearSolverBackend`` seam (tuned dense, cached LU, sparse CSC).
+* :mod:`repro.sweep` — batched lockstep scenario sweeps sharing one
+  static factorization per corner group, with eye/worst-corner reports.
 * :mod:`repro.api` — the unified job front door: declarative
   :class:`~repro.api.spec.SimulationSpec` jobs (JSON-serialisable,
   content-hashed), the engine registry, the uniform
   :class:`~repro.api.result.Result`, and the ``python -m repro`` CLI.
+* :mod:`repro.resilience` — the failure taxonomy, per-run health
+  telemetry, bounded retry policies and the fault-injection harness.
+* :mod:`repro.service` — the simulation-as-a-service daemon
+  (``python -m repro serve``): jobs over HTTP, results content-addressed
+  by spec hash so identical submissions never re-solve.
+
+The ``docs/`` tree holds the prose documentation: ``architecture.md``
+(module map and the life of a job), ``job-spec.md`` (every spec block
+and engine option), ``service.md`` (HTTP endpoint reference) and
+``operations.md`` (environment variables, cache layout, exit codes).
 
 Quickstart
 ----------

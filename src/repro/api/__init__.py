@@ -125,6 +125,14 @@ def _check_backed_options(spec) -> None:
 def run(spec, *, models=None) -> Result:
     """Execute a simulation spec through its registered engine.
 
+    This is the synchronous front door every consumer shares: the CLI
+    (``python -m repro run``), the service daemon's workers
+    (:mod:`repro.service`) and in-process callers all funnel through it,
+    so a job produces the same arithmetic however it arrives.  Engine
+    options needing an unregistered backend are rejected up front with a
+    ``NotImplementedError`` naming the missing backend (see
+    ``docs/job-spec.md`` for every block and option).
+
     Parameters
     ----------
     spec:
@@ -143,6 +151,14 @@ def run(spec, *, models=None) -> Result:
     Result
         The uniform result container; the engine's native result object
         stays available as ``Result.raw``.
+
+    Raises
+    ------
+    repro.resilience.SolverError
+        A typed taxonomy failure the strict policy could not recover
+        (``NonConvergenceError`` / ``SingularMatrixError`` /
+        ``NanInfError`` / ``BackendError``), carrying its structured
+        :class:`~repro.resilience.SolveFailure` record.
     """
     if not isinstance(spec, SimulationSpec):
         spec = spec_from_dict(spec)

@@ -1,12 +1,15 @@
 """Command-line front end of the job API: ``python -m repro``.
 
-Three subcommands make a JSON job file a first-class artefact:
+Four subcommands make a JSON job file a first-class artefact:
 
 * ``run job.json``      — validate, execute, print a summary (optionally
   write the full result as JSON or NPZ with ``--output``);
 * ``describe job.json`` — validate only: normalised spec, content hash,
   engine summary, estimated step count;
-* ``list-engines``      — the registered engine kinds.
+* ``list-engines``      — the registered engine kinds;
+* ``serve``             — the long-running simulation service
+  (:mod:`repro.service`): submit specs over HTTP, poll for results,
+  identical jobs served from the content-addressed cache.
 
 ``--quick`` runs a capped smoke variant of the job (shorter span, smallest
 3-D structure) — what the CI ``cli-smoke`` step exercises.
@@ -15,6 +18,8 @@ Exit codes: ``0`` clean run, ``2`` spec/IO error, ``3`` solver failure
 (typed taxonomy verdict on stderr) or a partial sweep with failed
 scenarios.  ``run`` accepts ``--max-retries`` / ``--on-nonconvergence``
 to override the spec's resilience knobs (see ``engine.max_retries``).
+See ``docs/`` (service.md, job-spec.md, operations.md) for the full
+reference.
 """
 
 from __future__ import annotations
@@ -60,6 +65,31 @@ def _build_parser() -> argparse.ArgumentParser:
     p_desc.add_argument("job", help="path to the JSON job file")
 
     sub.add_parser("list-engines", help="list the registered engine kinds")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the simulation service daemon (see docs/service.md)"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1; 0.0.0.0 exposes the daemon)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (default 8765; 0 picks an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="solver worker threads draining the job queue (default 2)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-store directory (default $REPRO_CACHE_DIR/results); "
+             "identical specs are served from it without solving",
+    )
+    p_serve.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-request access log",
+    )
     return parser
 
 
@@ -187,6 +217,13 @@ def main(argv: list[str] | None = None) -> int:
                 args.job, args.quick, args.output,
                 max_retries=args.max_retries,
                 on_nonconvergence=args.on_nonconvergence,
+            )
+        if args.command == "serve":
+            from repro.service import serve
+
+            return serve(
+                host=args.host, port=args.port, workers=args.workers,
+                cache_dir=args.cache_dir, verbose=not args.quiet,
             )
     except SolverError as exc:
         # One-line taxonomy verdict: kind, step, scenario, residual.

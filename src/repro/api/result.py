@@ -50,6 +50,11 @@ def _jsonable(value: Any) -> Any:
 class Result:
     """Uniform view over the output of any registered engine.
 
+    The two export forms are the service's wire formats: :meth:`to_dict`
+    is the document ``GET /jobs/<id>/result`` serves (and the
+    content-addressed store persists), :meth:`save_npz` the artifact
+    behind ``GET /jobs/<id>/waveforms`` — see ``docs/service.md``.
+
     Parameters
     ----------
     times:
@@ -154,11 +159,13 @@ class Result:
             json.dump(self.to_dict(), handle)
             handle.write("\n")
 
-    def save_npz(self, path: str) -> None:
+    def save_npz(self, path) -> None:
         """Write the waveforms as a compressed NPZ archive.
 
-        Array keys: ``times`` plus one entry per waveform name; the JSON
-        metadata travels in a ``meta_json`` string array.
+        Array keys: ``times`` plus one ``w:<name>`` entry per waveform;
+        the JSON metadata travels in a ``meta_json`` string array.
+        ``path`` may be a filename or any binary file-like object (the
+        service daemon streams into a buffer).
         """
         payload = {"times": self.times}
         for name, wave in self._waveforms.items():

@@ -569,6 +569,13 @@ class EngineOptions:
 class SimulationSpec:
     """A complete, serialisable description of one simulation job.
 
+    A spec is *data*: frozen, strictly validated at construction, exact
+    under the JSON round-trip (``spec_from_dict(spec.to_dict()) == spec``)
+    and stably hashed by :meth:`content_hash` — which is how the service
+    daemon (:mod:`repro.service`) deduplicates identical jobs across
+    clients and restarts.  ``docs/job-spec.md`` documents every block and
+    field; ``examples/jobs/`` holds runnable fixtures for all four kinds.
+
     Attributes
     ----------
     kind:
@@ -654,7 +661,11 @@ class SimulationSpec:
 
         Equal for equal specs regardless of process, machine or the key
         order of the dictionaries they were built from — the cache key of
-        a job's results.
+        a job's results.  The service's content-addressed store
+        (:class:`repro.service.store.ResultStore`) is keyed by it, so two
+        submissions of the same spec perform exactly one solve.  Note
+        that ``label`` is part of the spec and therefore of the hash:
+        relabelling a job creates a new cache entry.
         """
         canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

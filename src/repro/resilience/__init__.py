@@ -168,6 +168,11 @@ def error_for(failure: SolveFailure) -> SolverError:
 class RetryPolicy:
     """Bounded retry with graceful degradation for a failed time step.
 
+    Jobs select it declaratively through ``engine.max_retries`` (CLI:
+    ``--max-retries``), which builds ``RetryPolicy(max_retries=N)`` with
+    the defaults below; in-process callers pass a fully-tuned policy via
+    ``TransientOptions(retry_policy=...)``.
+
     The retry ladder of :meth:`~repro.circuits.transient.TransientSolver.step_once`:
 
     1. the first retry rewinds the step and re-runs it unchanged — a

@@ -18,6 +18,14 @@ __all__ = ["SweepResult"]
 class SweepResult:
     """Waveforms and engine counters of one batched sweep.
 
+    A sweep may complete *partially*: scenarios quarantined by the fault
+    isolation layer that also failed their solo retry contribute no
+    waveforms and are reported per scenario in :attr:`status` /
+    :attr:`failures`.  Consumers surface that as a degraded-but-usable
+    outcome — the CLI exits ``3`` and the service marks the job
+    ``failed`` with the partial result still retrievable (see
+    ``docs/operations.md``, "Exit codes").
+
     Attributes
     ----------
     times:

@@ -619,3 +619,27 @@ class TestVersionSingleSourcing:
         assert repro.api.SimulationSpec is SimulationSpec
         with pytest.raises(AttributeError):
             repro.nonexistent_attribute
+
+
+class TestPydocSurface:
+    """``help()`` output is part of the public API surface (docs satellite)."""
+
+    def test_pydoc_renders_top_level_package(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "pydoc", "repro"],
+            capture_output=True, text=True, env=_subprocess_env(), cwd=REPO_ROOT,
+        )
+        assert out.returncode == 0, out.stderr
+        # the package docstring's subsystem map must survive into help()
+        for subsystem in ("repro.api", "repro.sweep", "repro.resilience",
+                          "repro.service", "docs/"):
+            assert subsystem in out.stdout, f"{subsystem!r} missing from pydoc output"
+
+    @pytest.mark.parametrize("module", ["repro.api", "repro.service"])
+    def test_pydoc_renders_subpackages(self, module):
+        out = subprocess.run(
+            [sys.executable, "-m", "pydoc", module],
+            capture_output=True, text=True, env=_subprocess_env(), cwd=REPO_ROOT,
+        )
+        assert out.returncode == 0, out.stderr
+        assert "SimulationSpec" in out.stdout or "JobServer" in out.stdout
