@@ -1,0 +1,235 @@
+"""Sweep-sharding benchmark: scaling curve + bit-identity gates.
+
+Measures the distribution layer of :mod:`repro.sweep.shard`: a large
+linear corner sweep (>= 8 corner groups, so the corner-group-atomic
+planner can actually go 8 wide) is run once through the single-process
+lockstep engine and then sharded over 1/2/4/8 worker processes.
+
+Gates (exit 1 on violation):
+
+* **equivalence** — every sharded waveform, scenario status and failure
+  record is *bit-identical* to the single-process run, including a sweep
+  with one persistently poisoned scenario injected via
+  ``REPRO_FAULT_PLAN`` (the quarantine/solo-retry path crosses the
+  process boundary intact);
+* **factorization invariant** — every shard reports exactly one shared
+  static factorization per corner group it owns, and the shards together
+  cover every group exactly once;
+* **parallel efficiency** — at 8 workers,
+  ``T1 / (T8 * min(8, cpu_count))`` must reach ``--min-efficiency``
+  (default 0.7).  Efficiency is defined against the parallelism the
+  machine actually has: on a 2-core runner 8 workers give 2 lanes, so
+  the denominator is 2 — the gate measures sharding overhead, not the
+  core count of the CI box.
+
+Writes ``BENCH_shard.json``.  Run as a script:
+
+    PYTHONPATH=src python benchmarks/bench_shard.py
+
+Use ``--quick`` for a CI-sized smoke run (shorter transient, fewer
+scenarios; same gates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api import EngineOptions, ScenarioSpec, SimulationSpec, run  # noqa: E402
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def corner_sweep_spec(n_groups: int, per_group: int, duration: float, dt: float) -> SimulationSpec:
+    """A linear corner sweep: ``n_groups`` corner groups x ``per_group`` patterns."""
+    scenarios = []
+    for g in range(n_groups):
+        for k in range(per_group):
+            scenarios.append(ScenarioSpec(
+                name=f"g{g:02d}s{k}",
+                bit_pattern=format((g + k) % 8, "03b") * 2,
+                corner={"load_resistance": 300.0 + 25.0 * g},
+            ))
+    return SimulationSpec(
+        kind="sweep",
+        duration=duration,
+        scenarios=tuple(scenarios),
+        engine=EngineOptions(dt=dt, sweep_family="linear"),
+        label="bench-shard",
+    )
+
+
+def with_workers(spec: SimulationSpec, workers: int) -> SimulationSpec:
+    return dataclasses.replace(
+        spec, engine=dataclasses.replace(spec.engine, workers=workers)
+    )
+
+
+def identical(base, other) -> bool:
+    """Bit-identity of two sweep Results: times, every waveform, status, failures."""
+    if base.names() != other.names() or not np.array_equal(base.times, other.times):
+        return False
+    for name in base.names():
+        if not np.array_equal(base.waveform(name), other.waveform(name)):
+            return False
+    return (
+        base.raw.status == other.raw.status
+        and base.raw.failures == other.raw.failures
+    )
+
+
+def factorization_invariant(perf: dict) -> bool:
+    """Each shard: one factorization per corner group; shards cover all groups."""
+    shard_stats = perf.get("shard_stats") or []
+    per_shard_ok = all(
+        s["shared_factorizations"] == s["static_groups"] for s in shard_stats
+    )
+    total = sum(s["shared_factorizations"] for s in shard_stats)
+    return per_shard_ok and total == perf.get("corner_groups")
+
+
+def measure(spec: SimulationSpec, trials: int):
+    """Best-of-``trials`` wall time and the last Result."""
+    best, result = None, None
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        result = run(spec)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def fault_plan_equivalence(spec: SimulationSpec, workers: int) -> dict:
+    """Sharded == single-process for a sweep with one poisoned scenario."""
+    from repro.resilience import faults
+
+    victim = spec.scenarios[len(spec.scenarios) // 2].name
+    plan = f"nan@5x*:scenario={victim}"
+    previous = os.environ.get("REPRO_FAULT_PLAN")
+    os.environ["REPRO_FAULT_PLAN"] = plan
+    faults.reload_env_plan()
+    try:
+        base = run(spec)
+        sharded = run(with_workers(spec, workers))
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_FAULT_PLAN", None)
+        else:
+            os.environ["REPRO_FAULT_PLAN"] = previous
+        faults.reload_env_plan()
+    return {
+        "fault_plan": plan,
+        "poisoned_scenario": victim,
+        "poisoned_status": base.raw.status_of(victim),
+        "bit_identical": identical(base, sharded),
+        "status_identical": base.raw.status == sharded.raw.status,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_shard.json")
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run: shorter transient, fewer scenarios")
+    parser.add_argument(
+        "--min-efficiency", type=float, default=None,
+        help="gate: T1 / (T8 * min(8, cpu_count)) at 8 workers (default 0.7; "
+        "--quick relaxes to 0.5 because its short transient under-amortises "
+        "the per-shard process start-up and shared CI runners are noisy)",
+    )
+    args = parser.parse_args(argv)
+    min_efficiency = args.min_efficiency
+    if min_efficiency is None:
+        min_efficiency = 0.5 if args.quick else 0.7
+
+    cores = os.cpu_count() or 1
+    if args.quick:
+        spec = corner_sweep_spec(n_groups=8, per_group=2, duration=4e-9, dt=1e-11)
+        trials = min(args.trials, 2)
+    else:
+        spec = corner_sweep_spec(n_groups=16, per_group=2, duration=4e-9, dt=5e-12)
+        trials = args.trials
+
+    n_steps = int(round(spec.duration / spec.engine.dt))
+    print(f"workload: {len(spec.scenarios)} scenarios, "
+          f"{len({sc.corner['load_resistance'] for sc in spec.scenarios})} corner groups, "
+          f"{n_steps} steps, {cores} core(s)")
+
+    t_single, base = measure(spec, trials)
+    print(f"single-process lockstep: {t_single*1e3:8.1f} ms")
+
+    n_groups = len({sc.corner["load_resistance"] for sc in spec.scenarios})
+    curve = []
+    efficiency_at_8 = None
+    for workers in WORKER_COUNTS:
+        if workers == 1:
+            # engine.workers=1 IS the single-process lockstep engine (the
+            # adapter routes around the pool entirely) — reuse the baseline.
+            t_n, result = t_single, base
+        else:
+            t_n, result = measure(with_workers(spec, workers), trials)
+        perf = result.raw.perf_stats
+        lanes = max(1, min(workers, cores))
+        efficiency = t_single / (t_n * lanes)
+        entry = {
+            "workers": workers,
+            "lanes": lanes,
+            "elapsed_s": round(t_n, 5),
+            "speedup_vs_single": round(t_single / t_n, 3),
+            "efficiency": round(efficiency, 3),
+            "shards": perf.get("shards", 1),
+            "corner_groups": perf.get("corner_groups", n_groups),
+            "pool_utilisation": perf.get("parallel_efficiency"),
+            "bit_identical": identical(base, result),
+            "factorization_invariant": factorization_invariant(perf)
+            if workers > 1 else perf["shared_factorizations"] == n_groups,
+        }
+        curve.append(entry)
+        if workers == 8:
+            efficiency_at_8 = efficiency
+        print(f"  {workers} worker(s): {t_n*1e3:8.1f} ms  shards {entry['shards']:2d}  "
+              f"efficiency {entry['efficiency']:.2f}  "
+              f"bit-identical {entry['bit_identical']}")
+
+    fault = fault_plan_equivalence(spec, workers=4)
+    print(f"fault-plan equivalence ({fault['poisoned_scenario']} "
+          f"{fault['poisoned_status']}): bit-identical {fault['bit_identical']}")
+
+    report = {
+        "quick": bool(args.quick),
+        "trials": trials,
+        "numpy": np.__version__,
+        "cpu_count": cores,
+        "n_scenarios": len(spec.scenarios),
+        "n_steps": n_steps,
+        "single_process_s": round(t_single, 5),
+        "curve": curve,
+        "fault_plan_equivalence": fault,
+        "targets": {"efficiency_at_8_workers": min_efficiency},
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {args.output}")
+
+    ok = (
+        efficiency_at_8 is not None
+        and efficiency_at_8 >= min_efficiency
+        and all(e["bit_identical"] and e["factorization_invariant"] for e in curve)
+        and fault["bit_identical"]
+        and fault["poisoned_status"] == "failed"
+    )
+    print("targets met" if ok else "targets NOT met")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

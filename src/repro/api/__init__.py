@@ -100,6 +100,19 @@ _BACKED_OPTIONS = {
                 "by the sweep adapter (PR 4); a build rejecting it predates "
                 "that backend",
     },
+    "workers": {
+        "summary": "multi-process sweep sharding (corner-group-atomic shards "
+                   "over a process pool, deterministic bit-identical merge)",
+        "hint": "implemented by repro.sweep.shard.run_sharded and routed by "
+                "the sweep adapter (PR 8); a build rejecting it predates "
+                "that subsystem",
+    },
+    "shards": {
+        "summary": "explicit shard count of a sharded sweep",
+        "hint": "implemented by repro.sweep.shard.plan_shards and routed by "
+                "the sweep adapter (PR 8); a build rejecting it predates "
+                "that subsystem",
+    },
 }
 
 

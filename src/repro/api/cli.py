@@ -60,6 +60,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="override engine.on_nonconvergence: what to do with a step "
              "that exhausts its Newton iterations",
     )
+    p_run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="override engine.workers: shard a sweep's scenario batch by "
+             "corner group over N worker processes (bit-identical merge)",
+    )
 
     p_desc = sub.add_parser("describe", help="validate a job file and print its normalised form")
     p_desc.add_argument("job", help="path to the JSON job file")
@@ -141,6 +146,7 @@ def _cmd_run(
     output: str | None,
     max_retries: int | None = None,
     on_nonconvergence: str | None = None,
+    workers: int | None = None,
 ) -> int:
     import dataclasses
 
@@ -154,6 +160,8 @@ def _cmd_run(
         overrides["max_retries"] = max_retries
     if on_nonconvergence is not None:
         overrides["on_nonconvergence"] = on_nonconvergence
+    if workers is not None:
+        overrides["workers"] = workers
     if overrides:
         spec = dataclasses.replace(
             spec, engine=dataclasses.replace(spec.engine, **overrides)
@@ -176,6 +184,7 @@ def _cmd_run(
         "symbolic_factorizations", "pattern_reuses",
         "batched_prepare_folds", "batched_prepare_scenarios",
         "banked_elements", "accept_calls",
+        "shards", "workers", "parallel_efficiency",
     )
     stats = {k: result.perf_stats[k] for k in interesting if k in result.perf_stats}
     if stats:
@@ -217,6 +226,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.job, args.quick, args.output,
                 max_retries=args.max_retries,
                 on_nonconvergence=args.on_nonconvergence,
+                workers=args.workers,
             )
         if args.command == "serve":
             from repro.service import serve

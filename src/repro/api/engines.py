@@ -34,6 +34,7 @@ __all__ = [
     "list_engines",
     "EngineInfo",
     "resolve_models",
+    "build_sweep",
     "register_option_backend",
     "option_backend",
     "supported_engine_options",
@@ -264,12 +265,14 @@ def _run_fdtd3d(spec: SimulationSpec, models=None) -> Result:
     return Result.from_simulation_result(result, meta=meta)
 
 
-@register_engine(
-    "sweep",
-    summary="batched lockstep scenario sweep of the link (family: linear "
-            "shared-LU or rbf batched-Gaussian)",
-)
-def _run_sweep(spec: SimulationSpec, models=None) -> Result:
+def build_sweep(spec: SimulationSpec, models=None):
+    """The single-process lockstep sweep a spec describes.
+
+    Returns ``(sweep, engine_label)`` where ``sweep`` is the ready-to-run
+    :class:`~repro.sweep.engine.CircuitSweep`.  Shared by the sweep
+    adapter below and the shard workers of :mod:`repro.sweep.shard`
+    (which build one sweep per corner-group shard from a sub-spec).
+    """
     from repro.sweep.links import (
         LinearLinkSpec,
         RBFLinkSpec,
@@ -302,7 +305,28 @@ def _run_sweep(spec: SimulationSpec, models=None) -> Result:
             batch_prepare=spec.engine.batch_prepare,
         )
         engine_label = "sweep-rbf"
-    result = sweep.run()
+    return sweep, engine_label
+
+
+@register_engine(
+    "sweep",
+    summary="batched lockstep scenario sweep of the link (family: linear "
+            "shared-LU or rbf batched-Gaussian), sharded over a process "
+            "pool when engine.workers > 1",
+)
+def _run_sweep(spec: SimulationSpec, models=None) -> Result:
+    from repro.sweep.shard import resolve_worker_count, run_sharded
+
+    dt = spec.engine.dt if spec.engine.dt is not None else DEFAULT_DT
+    workers = resolve_worker_count(spec.engine.workers)
+    if workers > 1 or spec.engine.shards is not None:
+        engine_label = (
+            "sweep-linear" if spec.engine.sweep_family == "linear" else "sweep-rbf"
+        )
+        result = run_sharded(spec, workers=workers, models=models)
+    else:
+        sweep, engine_label = build_sweep(spec, models=models)
+        result = sweep.run()
     meta = _spec_meta(spec)
     meta["dt"] = dt
     return Result.from_sweep_result(result, engine=engine_label, meta=meta)
@@ -319,4 +343,14 @@ register_option_backend(
     "batch_prepare",
     "repro.perf.rbf_fast.BatchedPrepare via CircuitSweep(batch_prepare=True) "
     "(sweep adapter, PR 4)",
+)
+register_option_backend(
+    "workers",
+    "repro.sweep.shard.run_sharded — corner-group-atomic process-pool "
+    "sharding with deterministic merge (sweep adapter, PR 8)",
+)
+register_option_backend(
+    "shards",
+    "repro.sweep.shard.plan_shards — explicit shard count over the same "
+    "process-pool path as engine.workers (sweep adapter, PR 8)",
 )

@@ -485,6 +485,20 @@ class EngineOptions:
         retries: ``"raise"`` (default — the job fails with a typed
         non-convergence error), ``"warn"`` or ``"ignore"`` (commit the
         step, counted in ``Result.perf_stats["health"]``).
+    workers:
+        Worker-process count of a sharded sweep
+        (:mod:`repro.sweep.shard`): the scenario batch is partitioned
+        into corner-group-atomic shards and fanned out over a process
+        pool, merging to bit-identical waveforms.  ``None`` (default)
+        reads ``REPRO_SWEEP_WORKERS`` and falls back to 1 (single
+        process, no pool); must be ≥ 1 when set.  Sweep kind only;
+        ignored elsewhere.
+    shards:
+        Shard count of a sharded sweep; ``None`` (default) uses the
+        worker count.  Always capped by the number of corner groups —
+        a corner group is never split across shards (that would break
+        the one-factorization-per-group invariant *and* bit-identical
+        merging).  Must be ≥ 1 when set.  Sweep kind only.
     """
 
     dt: Optional[float] = None
@@ -496,6 +510,8 @@ class EngineOptions:
     batch_prepare: bool = False
     max_retries: int = 0
     on_nonconvergence: str = "raise"
+    workers: Optional[int] = None
+    shards: Optional[int] = None
 
     def __post_init__(self):
         object.__setattr__(self, "dt", _opt_float(self.dt, "engine.dt"))
@@ -526,6 +542,14 @@ class EngineOptions:
                 f"engine.on_nonconvergence must be 'raise', 'warn' or 'ignore', "
                 f"got {self.on_nonconvergence!r}"
             )
+        for name in ("workers", "shards"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, _as_int(value, f"engine.{name}"))
+                if getattr(self, name) < 1:
+                    raise ValueError(
+                        f"engine.{name} must be at least 1 (or null), got {value}"
+                    )
 
     def to_dict(self) -> dict:
         return {
@@ -538,6 +562,8 @@ class EngineOptions:
             "batch_prepare": self.batch_prepare,
             "max_retries": self.max_retries,
             "on_nonconvergence": self.on_nonconvergence,
+            "workers": self.workers,
+            "shards": self.shards,
         }
 
     @classmethod
@@ -545,7 +571,7 @@ class EngineOptions:
         data = _require_mapping(data, where)
         allowed = {
             "dt", "fast", "n_cells", "variant", "sweep_family", "sparse_mna", "batch_prepare",
-            "max_retries", "on_nonconvergence",
+            "max_retries", "on_nonconvergence", "workers", "shards",
         }
         _reject_unknown(data, allowed, where)
         return cls(
@@ -558,6 +584,8 @@ class EngineOptions:
             batch_prepare=data.get("batch_prepare", False),
             max_retries=data.get("max_retries", 0),
             on_nonconvergence=data.get("on_nonconvergence", "raise"),
+            workers=data.get("workers"),
+            shards=data.get("shards"),
         )
 
 

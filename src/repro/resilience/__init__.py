@@ -109,6 +109,18 @@ class SolveFailure:
             "context": dict(self.context),
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolveFailure":
+        """Rebuild a record from its :meth:`to_dict` form (shard merges)."""
+        return cls(
+            kind=data["kind"],
+            step=data.get("step"),
+            scenario=data.get("scenario"),
+            residual=data.get("residual"),
+            message=data.get("message", ""),
+            context=data.get("context") or {},
+        )
+
     def describe(self) -> str:
         """The one-line form the CLI prints on a failed job."""
         parts = [f"[{self.kind}]"]
@@ -297,6 +309,28 @@ class RunHealth:
         self.damping_boosts += other.damping_boosts
         self.backend_fallbacks += other.backend_fallbacks
         return self
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunHealth":
+        """Rebuild an accumulator from its :meth:`to_dict` summary.
+
+        Lets health telemetry that crossed a process boundary as JSON (a
+        shard worker's ``perf_stats["health"]``) be re-:meth:`merge`\\ d
+        into an aggregate on the parent side.
+        """
+        health = cls()
+        health.failure_counts = dict(data.get("failure_counts") or {})
+        health.events = [
+            SolveFailure.from_dict(event) for event in data.get("events") or []
+        ]
+        health.nonconverged_commits = int(data.get("nonconverged_commits", 0))
+        health.retries = int(data.get("retries", 0))
+        health.retried_steps = int(data.get("retried_steps", 0))
+        health.recovered_steps = int(data.get("recovered_steps", 0))
+        health.dt_halvings = int(data.get("dt_halvings", 0))
+        health.damping_boosts = int(data.get("damping_boosts", 0))
+        health.backend_fallbacks = int(data.get("backend_fallbacks", 0))
+        return health
 
     def to_dict(self) -> dict:
         """JSON-serialisable summary (``Result.perf_stats["health"]``)."""

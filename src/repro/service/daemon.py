@@ -17,7 +17,9 @@ Endpoints
     cached and the job is ``done`` on arrival.  Invalid specs get ``400``
     with the validation message (the job is never created).
 ``GET /jobs``
-    Summaries of every job this daemon has seen, in submission order.
+    Summaries of every job this daemon has seen, in submission order;
+    ``?state=queued|running|done|failed`` keeps only that state
+    (unknown states get ``400``).
 ``GET /jobs/<id>``
     Status document: state, spec hash, ``cache_hit``, timestamps, the
     ``RunHealth`` summary once a result exists, and the structured
@@ -134,7 +136,7 @@ class _Handler(BaseHTTPRequestHandler):
             return self._get_engines()
         if parts and parts[0] == "jobs":
             if len(parts) == 1:
-                return self._get_jobs()
+                return self._get_jobs(parse_qs(parsed.query))
             job = self.manager.get(parts[1])
             if job is None:
                 return self._send_json(404, {"error": f"no job {parts[1]!r}"})
@@ -177,9 +179,21 @@ class _Handler(BaseHTTPRequestHandler):
             "engine_options": supported_engine_options(),
         })
 
-    def _get_jobs(self) -> None:
+    def _get_jobs(self, query: dict) -> None:
+        from repro.service.jobs import JOB_STATES
+
+        states = query.get("state")
+        if states:
+            state = states[-1]
+            if state not in JOB_STATES:
+                return self._send_json(400, {
+                    "error": f"unknown state {state!r}; expected one of {list(JOB_STATES)}"
+                })
+            jobs = [job for job in self.manager.jobs() if job.state == state]
+        else:
+            jobs = self.manager.jobs()
         self._send_json(200, {
-            "jobs": [job.status_dict() for job in self.manager.jobs()],
+            "jobs": [job.status_dict() for job in jobs],
         })
 
     def _post_job(self, query: dict) -> None:

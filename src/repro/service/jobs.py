@@ -99,6 +99,11 @@ class Job:
             health = perf.get("health")
             if health is not None:
                 doc["health"] = health
+            # A sharded sweep (engine.workers > 1) carries its fan-out
+            # telemetry; surface the headline numbers in the status.
+            if "shards" in perf:
+                doc["shards"] = perf["shards"]
+                doc["parallel_efficiency"] = perf.get("parallel_efficiency")
         if self.state == "failed":
             doc["error"] = self.error
             doc["failures"] = list(self.failures)

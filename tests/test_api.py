@@ -275,9 +275,11 @@ class TestRegistry:
         from repro.api.engines import option_backend, supported_engine_options
 
         supported = supported_engine_options()
-        assert set(supported) == {"sparse_mna", "batch_prepare"}
+        assert set(supported) == {"sparse_mna", "batch_prepare", "workers", "shards"}
         assert "SparseBackend" in option_backend("sparse_mna")
         assert "BatchedPrepare" in option_backend("batch_prepare")
+        assert "run_sharded" in option_backend("workers")
+        assert "plan_shards" in option_backend("shards")
         import dataclasses
 
         spec = _make_spec("circuit")

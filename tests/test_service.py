@@ -187,6 +187,54 @@ def test_sweep_job_end_to_end(server):
     assert [j["job_id"] for j in listing["jobs"]] == [submitted["job_id"]]
 
 
+def test_job_listing_fields_and_state_filter(server):
+    """``GET /jobs``: submission order, operator fields, ``?state=`` filter."""
+    ids = []
+    for label in ("listing-a", "listing-b"):
+        status, submitted = _post(server, "/jobs", _sweep_spec(label))
+        assert status in (200, 202)
+        ids.append(submitted["job_id"])
+        _wait(server, submitted["job_id"])
+
+    status, listing = _get(server, "/jobs")
+    assert status == 200
+    assert [j["job_id"] for j in listing["jobs"]] == ids
+    for entry in listing["jobs"]:
+        # the operator's view: id, state, hash and timestamps on every row
+        assert entry["state"] == "done"
+        assert len(entry["spec_hash"]) == 64
+        assert entry["submitted_at"] <= entry["finished_at"]
+
+    status, done = _get(server, "/jobs?state=done")
+    assert status == 200
+    assert [j["job_id"] for j in done["jobs"]] == ids
+    status, queued = _get(server, "/jobs?state=queued")
+    assert status == 200
+    assert queued["jobs"] == []
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(server, "/jobs?state=bogus")
+    assert excinfo.value.code == 400
+    assert "bogus" in json.loads(excinfo.value.read())["error"]
+
+
+def test_sharded_sweep_job_surfaces_shard_telemetry(server):
+    """A sweep with engine.workers=2 fans out in the daemon and reports it."""
+    spec = _sweep_spec("sharded service sweep")
+    spec["engine"]["workers"] = 2
+    status, submitted = _post(server, "/jobs", spec)
+    assert status in (200, 202)
+    doc = _wait(server, submitted["job_id"], timeout=240.0)
+    assert doc["state"] == "done"
+    # the two scenarios sit in different corner groups -> two shards
+    assert doc["shards"] == 2
+    assert doc["parallel_efficiency"] is None or 0.0 < doc["parallel_efficiency"] <= 1.0
+
+    status, result = _get(server, f"/jobs/{submitted['job_id']}/result")
+    assert status == 200
+    assert result["perf_stats"]["shards"] == 2
+    assert "010/nominal/far" in result["waveforms"]
+
+
 # ---------------------------------------------------------------------------
 # the content-addressed cache contract
 # ---------------------------------------------------------------------------
