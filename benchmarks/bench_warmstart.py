@@ -1,0 +1,264 @@
+"""Warm-start benchmark: plan-cache setup speedup + bit-identity gates.
+
+Measures the topology-keyed assembly-plan cache of
+:mod:`repro.perf.plan_store`: the symbolic setup a cold run pays once
+per process (bank-compaction grouping, static COO→CSC compression, the
+static+dynamic union pattern) is captured as an
+:class:`~repro.perf.plan.AssemblyPlan` and adopted — after exact
+validation against the live layout — by every later run of the same
+topology, in this process or any other.
+
+Two phases:
+
+* **setup micro-benchmark** — ``FastPathAssembler`` construction +
+  ``begin_run()`` on a sparse RC ladder of >= 1100 unknowns, cold vs
+  warm (best of N trials each; the transient itself is excluded, this
+  is the phase warm starts accelerate);
+* **fleet warm start** — a sharded linear corner sweep (one plan shared
+  by every worker process through the on-disk store): run twice in a
+  fresh cache directory; the second run must report **zero** symbolic
+  factorizations in every shard while staying bit-identical to the cold
+  sharded run and to the single-process engine.
+
+Gates (exit 1 on violation):
+
+* cold assembler: exactly 1 symbolic factorization; warm assembler: 0,
+  with >= 1 plan-component hit, and the assembled static CSC
+  bit-identical to the cold one;
+* warm setup time <= cold setup time / ``--min-speedup``;
+* warm sharded sweep: 0 symbolic factorizations in total and per shard,
+  >= 1 plan hit per shard, waveforms bit-identical to both baselines.
+
+Writes ``BENCH_warmstart.json``.  Run as a script:
+
+    PYTHONPATH=src python benchmarks/bench_warmstart.py
+
+Use ``--quick`` for a CI-sized smoke run (same gates, shorter sweep).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api import EngineOptions, LinkSpec, ScenarioSpec, SimulationSpec, run  # noqa: E402
+
+
+def setup_once(circuit, compiled, dt, plan_key, plan_store):
+    """One assembler construction + static assembly; ``(seconds, assembler)``."""
+    from repro.perf.mna import FastPathAssembler
+
+    for element in circuit.elements:
+        reset = getattr(element, "reset", None)
+        if reset is not None:
+            reset()
+    t0 = time.perf_counter()
+    assembler = FastPathAssembler(
+        circuit, compiled, dt, "trapezoidal", 1e-12, backend="sparse",
+        plan_key=plan_key, plan_store=plan_store,
+    )
+    assembler.begin_run()
+    return time.perf_counter() - t0, assembler
+
+
+def setup_phase(n_sections: int, trials: int, plan_store) -> dict:
+    """Cold-vs-warm setup timing on a sparse RC ladder, best of ``trials``."""
+    from repro.circuits.ladder import rc_ladder_circuit
+
+    circuit, _ = rc_ladder_circuit(n_sections)
+    compiled = circuit.compile()
+    dt = 1e-12
+    key = f"bench-warmstart-ladder-{n_sections}"
+
+    # Populate the store (one throwaway cold run with the key), then time.
+    setup_once(circuit, compiled, dt, key, plan_store)
+
+    cold_best = warm_best = None
+    cold_asm = warm_asm = None
+    for _ in range(trials):
+        elapsed, cold_asm = setup_once(circuit, compiled, dt, None, plan_store)
+        cold_best = elapsed if cold_best is None else min(cold_best, elapsed)
+        elapsed, warm_asm = setup_once(circuit, compiled, dt, key, plan_store)
+        warm_best = elapsed if warm_best is None else min(warm_best, elapsed)
+
+    cold_csc = cold_asm.backend.static_system()
+    warm_csc = warm_asm.backend.static_system()
+    return {
+        "n_unknowns": compiled.n_unknowns,
+        "trials": trials,
+        "cold_setup_s": round(cold_best, 6),
+        "warm_setup_s": round(warm_best, 6),
+        "setup_speedup": round(cold_best / warm_best, 3),
+        "cold_symbolic_factorizations": cold_asm.stats["symbolic_factorizations"],
+        "warm_symbolic_factorizations": warm_asm.stats["symbolic_factorizations"],
+        "warm_plan_cache_hits": warm_asm.stats["plan_cache_hits"],
+        "warm_plan_cache_misses": warm_asm.stats["plan_cache_misses"],
+        "static_bit_identical": bool(
+            np.array_equal(cold_csc.indices, warm_csc.indices)
+            and np.array_equal(cold_csc.indptr, warm_csc.indptr)
+            and np.array_equal(cold_csc.data, warm_csc.data)
+        ),
+    }
+
+
+def fleet_sweep_spec(n_groups: int, per_group: int, segments: int,
+                     duration: float, workers: int) -> SimulationSpec:
+    scenarios = []
+    for g in range(n_groups):
+        for k in range(per_group):
+            scenarios.append(ScenarioSpec(
+                name=f"g{g:02d}s{k}",
+                bit_pattern=format((g + k) % 8, "03b"),
+                corner={"load_resistance": 300.0 + 50.0 * g},
+            ))
+    return SimulationSpec(
+        kind="sweep",
+        duration=duration,
+        scenarios=tuple(scenarios),
+        link=LinkSpec(segments=segments),
+        engine=EngineOptions(dt=1e-11, sweep_family="linear",
+                             sparse_mna=True, warm_start=True,
+                             workers=workers),
+        label="bench-warmstart",
+    )
+
+
+def identical(base, other) -> bool:
+    if base.names() != other.names() or not np.array_equal(base.times, other.times):
+        return False
+    return all(
+        np.array_equal(base.waveform(name), other.waveform(name))
+        for name in base.names()
+    )
+
+
+def fleet_phase(spec: SimulationSpec) -> dict:
+    """Sharded sweep run twice in a fresh cache dir; warm must be free."""
+    single = dataclasses.replace(
+        spec, engine=dataclasses.replace(spec.engine, workers=1, warm_start=False)
+    )
+    reference = run(single)
+
+    t0 = time.perf_counter()
+    cold = run(spec)
+    t_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = run(spec)
+    t_warm = time.perf_counter() - t0
+
+    perf = warm.perf_stats
+    shard_stats = perf.get("shard_stats") or []
+    return {
+        "n_scenarios": len(spec.scenarios),
+        "segments": spec.link.segments,
+        "workers": spec.engine.workers,
+        "shards": perf.get("shards"),
+        "cold_elapsed_s": round(t_cold, 5),
+        "warm_elapsed_s": round(t_warm, 5),
+        "cold_symbolic_factorizations": cold.perf_stats.get("symbolic_factorizations"),
+        "warm_symbolic_factorizations": perf.get("symbolic_factorizations"),
+        "warm_plan_hits_per_shard": [s.get("plan_cache_hits") for s in shard_stats],
+        "warm_symbolic_per_shard": [
+            s.get("symbolic_factorizations") for s in shard_stats
+        ],
+        "warm_zero_symbolic": (
+            perf.get("symbolic_factorizations") == 0
+            and all(s.get("symbolic_factorizations") == 0 for s in shard_stats)
+            and all(s.get("plan_cache_hits", 0) >= 1 for s in shard_stats)
+        ),
+        "warm_identical_to_cold": identical(cold, warm),
+        "sharded_identical_to_single": identical(reference, warm),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_warmstart.json")
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run: shorter sweep, fewer trials")
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="gate: cold/warm setup time on the >=1100-unknown ladder "
+        "(default 1.02; --quick relaxes to 1.0 — no regression — because "
+        "shared CI runners jitter more than the np.unique saving)",
+    )
+    args = parser.parse_args(argv)
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        min_speedup = 1.0 if args.quick else 1.02
+
+    from repro.perf.plan_store import PlanStore
+
+    trials = min(args.trials, 3) if args.quick else args.trials
+    with tempfile.TemporaryDirectory(prefix="bench_warmstart_") as tmp:
+        previous = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        try:
+            store = PlanStore(root=os.path.join(tmp, "plans"), enabled=True)
+            setup = setup_phase(
+                n_sections=1100 if args.quick else 1600,
+                trials=trials, plan_store=store,
+            )
+            print(f"setup ({setup['n_unknowns']} unknowns): "
+                  f"cold {setup['cold_setup_s']*1e3:7.2f} ms  "
+                  f"warm {setup['warm_setup_s']*1e3:7.2f} ms  "
+                  f"speedup {setup['setup_speedup']:.3f}x  "
+                  f"warm symbolic {setup['warm_symbolic_factorizations']}")
+
+            spec = fleet_sweep_spec(
+                n_groups=4, per_group=2,
+                segments=250 if args.quick else 550,
+                duration=0.6e-9 if args.quick else 1.5e-9,
+                workers=4,
+            )
+            fleet = fleet_phase(spec)
+            print(f"fleet ({fleet['n_scenarios']} scenarios x "
+                  f"~{2 * fleet['segments']} unknowns, {fleet['shards']} shards): "
+                  f"warm symbolic {fleet['warm_symbolic_factorizations']}  "
+                  f"plan hits/shard {fleet['warm_plan_hits_per_shard']}  "
+                  f"bit-identical {fleet['warm_identical_to_cold']}")
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous
+
+    report = {
+        "quick": bool(args.quick),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "setup": setup,
+        "fleet": fleet,
+        "targets": {"min_setup_speedup": min_speedup},
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {args.output}")
+
+    ok = (
+        setup["cold_symbolic_factorizations"] == 1
+        and setup["warm_symbolic_factorizations"] == 0
+        and setup["warm_plan_cache_hits"] >= 1
+        and setup["warm_plan_cache_misses"] == 0
+        and setup["static_bit_identical"]
+        and setup["setup_speedup"] >= min_speedup
+        and fleet["warm_zero_symbolic"]
+        and fleet["warm_identical_to_cold"]
+        and fleet["sharded_identical_to_single"]
+    )
+    print("targets met" if ok else "targets NOT met")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -113,6 +113,12 @@ _BACKED_OPTIONS = {
                 "the sweep adapter (PR 8); a build rejecting it predates "
                 "that subsystem",
     },
+    "warm_start": {
+        "summary": "topology-keyed assembly-plan warm starts",
+        "hint": "implemented by repro.perf.plan_store.PlanStore and routed "
+                "by the circuit/sweep adapters (PR 9); a build rejecting it "
+                "predates that subsystem",
+    },
 }
 
 

@@ -65,6 +65,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="override engine.workers: shard a sweep's scenario batch by "
              "corner group over N worker processes (bit-identical merge)",
     )
+    p_run.add_argument(
+        "--warm-start", dest="warm_start", action="store_true", default=None,
+        help="override engine.warm_start: adopt the MNA symbolic setup from "
+             "the topology-keyed plan cache (bit-identical to a cold run; "
+             "a cold run populates the cache for the next one)",
+    )
+    p_run.add_argument(
+        "--no-warm-start", dest="warm_start", action="store_false",
+        help="override engine.warm_start: force cold setup, ignoring the "
+             "plan cache and the REPRO_PLAN_CACHE environment toggle",
+    )
 
     p_desc = sub.add_parser("describe", help="validate a job file and print its normalised form")
     p_desc.add_argument("job", help="path to the JSON job file")
@@ -147,6 +158,7 @@ def _cmd_run(
     max_retries: int | None = None,
     on_nonconvergence: str | None = None,
     workers: int | None = None,
+    warm_start: bool | None = None,
 ) -> int:
     import dataclasses
 
@@ -162,6 +174,8 @@ def _cmd_run(
         overrides["on_nonconvergence"] = on_nonconvergence
     if workers is not None:
         overrides["workers"] = workers
+    if warm_start is not None:
+        overrides["warm_start"] = warm_start
     if overrides:
         spec = dataclasses.replace(
             spec, engine=dataclasses.replace(spec.engine, **overrides)
@@ -182,6 +196,7 @@ def _cmd_run(
         "shared_factorizations", "static_reuses", "batched_rbf_evals", "block_solves",
         "backend", "factorizations", "sparse_factorizations",
         "symbolic_factorizations", "pattern_reuses",
+        "plan_cache_hits", "plan_cache_misses",
         "batched_prepare_folds", "batched_prepare_scenarios",
         "banked_elements", "accept_calls",
         "shards", "workers", "parallel_efficiency",
@@ -227,6 +242,7 @@ def main(argv: list[str] | None = None) -> int:
                 max_retries=args.max_retries,
                 on_nonconvergence=args.on_nonconvergence,
                 workers=args.workers,
+                warm_start=args.warm_start,
             )
         if args.command == "serve":
             from repro.service import serve

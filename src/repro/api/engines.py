@@ -183,8 +183,12 @@ def _link_description(spec: SimulationSpec):
 
 def _transient_options(spec: SimulationSpec):
     """The :class:`TransientOptions` a spec's engine block selects, or None."""
+    from repro.perf.plan_store import resolve_warm_start
+
     eng = spec.engine
-    if not eng.sparse_mna and eng.max_retries == 0 and eng.on_nonconvergence == "raise":
+    warm_start = resolve_warm_start(eng.warm_start)
+    if not eng.sparse_mna and eng.max_retries == 0 \
+            and eng.on_nonconvergence == "raise" and not warm_start:
         return None
     from repro.circuits.transient import TransientOptions
     from repro.resilience import RetryPolicy
@@ -194,6 +198,10 @@ def _transient_options(spec: SimulationSpec):
         kwargs["backend"] = "sparse"
     if eng.max_retries > 0:
         kwargs["retry_policy"] = RetryPolicy(max_retries=eng.max_retries)
+    if warm_start:
+        # One stimulus-invariant key per topology: every scenario, shard
+        # worker and near-duplicate job of the same system shares it.
+        kwargs["plan_key"] = spec.topology_hash()
     kwargs["on_nonconvergence"] = eng.on_nonconvergence
     return TransientOptions(**kwargs)
 
@@ -353,4 +361,10 @@ register_option_backend(
     "shards",
     "repro.sweep.shard.plan_shards — explicit shard count over the same "
     "process-pool path as engine.workers (sweep adapter, PR 8)",
+)
+register_option_backend(
+    "warm_start",
+    "repro.perf.plan_store.PlanStore — topology-keyed assembly-plan cache "
+    "adopted via TransientOptions(plan_key=spec.topology_hash()) "
+    "(circuit and sweep adapters, PR 9)",
 )

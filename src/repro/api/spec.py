@@ -499,6 +499,16 @@ class EngineOptions:
         a corner group is never split across shards (that would break
         the one-factorization-per-group invariant *and* bit-identical
         merging).  Must be ≥ 1 when set.  Sweep kind only.
+    warm_start:
+        Warm-start MNA assembly from the topology-keyed plan cache
+        (:mod:`repro.perf.plan_store`): bank-compaction grouping and the
+        sparse solver's symbolic setup are adopted from a persisted
+        :class:`~repro.perf.plan.AssemblyPlan` keyed by
+        :meth:`SimulationSpec.topology_hash`, validated against the live
+        system before use (mismatch falls back to cold setup, so results
+        are always bit-identical to a cold run).  ``None`` (default)
+        follows the ``REPRO_PLAN_CACHE`` environment toggle (off unless
+        set).  SPICE-class kinds only; ignored by the field engines.
     """
 
     dt: Optional[float] = None
@@ -512,6 +522,7 @@ class EngineOptions:
     on_nonconvergence: str = "raise"
     workers: Optional[int] = None
     shards: Optional[int] = None
+    warm_start: Optional[bool] = None
 
     def __post_init__(self):
         object.__setattr__(self, "dt", _opt_float(self.dt, "engine.dt"))
@@ -550,6 +561,7 @@ class EngineOptions:
                     raise ValueError(
                         f"engine.{name} must be at least 1 (or null), got {value}"
                     )
+        _opt_bool(self.warm_start, "engine.warm_start")
 
     def to_dict(self) -> dict:
         return {
@@ -564,6 +576,7 @@ class EngineOptions:
             "on_nonconvergence": self.on_nonconvergence,
             "workers": self.workers,
             "shards": self.shards,
+            "warm_start": self.warm_start,
         }
 
     @classmethod
@@ -571,7 +584,7 @@ class EngineOptions:
         data = _require_mapping(data, where)
         allowed = {
             "dt", "fast", "n_cells", "variant", "sweep_family", "sparse_mna", "batch_prepare",
-            "max_retries", "on_nonconvergence", "workers", "shards",
+            "max_retries", "on_nonconvergence", "workers", "shards", "warm_start",
         }
         _reject_unknown(data, allowed, where)
         return cls(
@@ -586,6 +599,7 @@ class EngineOptions:
             on_nonconvergence=data.get("on_nonconvergence", "raise"),
             workers=data.get("workers"),
             shards=data.get("shards"),
+            warm_start=data.get("warm_start"),
         )
 
 
@@ -696,6 +710,47 @@ class SimulationSpec:
         relabelling a job creates a new cache entry.
         """
         canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    #: engine options that never change the assembled MNA topology —
+    #: stimulus-shaping, scheduling and policy knobs excluded from
+    #: :meth:`topology_hash` so a sharded worker fleet (``workers`` pinned
+    #: to 1 in sub-specs), reruns at a different ``dt`` and retry-policy
+    #: variants of the same system all share one assembly plan.
+    _TOPOLOGY_NEUTRAL_ENGINE_KEYS = (
+        "dt", "fast", "batch_prepare", "max_retries", "on_nonconvergence",
+        "workers", "shards", "warm_start",
+    )
+
+    def topology_hash(self) -> str:
+        """Stable SHA-256 of the *topology-defining* spec blocks only.
+
+        Sibling of :meth:`content_hash`, but stimulus-invariant: scenarios
+        only vary the right-hand side (corners, drive strengths and bit
+        patterns never move an MNA stamp), so the hash covers the
+        ``devices``/``link``/``structure`` blocks plus the engine options
+        that select the assembled system (variant, sweep family, sparse
+        backend) — excluding ``stimulus``, ``scenarios``, ``label``,
+        ``duration`` and the scheduling/policy knobs listed in
+        ``_TOPOLOGY_NEUTRAL_ENGINE_KEYS``.  It keys the cross-job
+        :class:`~repro.perf.plan_store.PlanStore`: every worker of a
+        sharded sweep, every Monte Carlo variation and every
+        near-duplicate service job of the same system resolves to the
+        same :class:`~repro.perf.plan.AssemblyPlan`.  A collision is
+        harmless (plans are re-validated against the live system before
+        adoption); a miss only costs one cold setup.
+        """
+        engine = self.engine.to_dict()
+        for key in self._TOPOLOGY_NEUTRAL_ENGINE_KEYS:
+            engine.pop(key, None)
+        doc = {
+            "topology_version": FORMAT_VERSION,
+            "devices": self.devices.to_dict(),
+            "link": self.link.to_dict(),
+            "structure": self.structure.to_dict(),
+            "engine": engine,
+        }
+        canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def save(self, path: str) -> None:

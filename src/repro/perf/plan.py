@@ -1,0 +1,330 @@
+"""Cacheable assembly plans: the reusable symbolic half of MNA setup.
+
+Every run of :class:`repro.perf.mna.FastPathAssembler` repeats work that
+is a pure function of the circuit *topology* — never of the stimulus, the
+corner values or the time step:
+
+* the bank-compaction grouping (which scalar elements coalesce into which
+  vectorised bank, :func:`repro.perf.mna.compact_elements`);
+* the static COO triplets' row/column layout and its CSC compression
+  (indices/indptr plus the COO→CSC position map of
+  :meth:`repro.perf.backends.SparseBackend._compress_pattern`);
+* the static+dynamic union sparsity pattern of nonlinear runs, with its
+  static and per-dynamic-stamp position maps;
+* the resolved backend name.
+
+An :class:`AssemblyPlan` is an immutable snapshot of exactly that symbolic
+state, captured after a cold setup and keyed by the stimulus-invariant
+:meth:`repro.api.spec.SimulationSpec.topology_hash`, so shard workers,
+service daemon workers and near-duplicate jobs warm-start instead of
+re-deriving it (persistence lives in :mod:`repro.perf.plan_store`).
+
+Bit-identity contract
+---------------------
+A warm-started run must be **bit-identical** to a cold one, so a plan is
+never trusted blindly: adoption happens only after the live run re-derives
+the cheap half of the information and verifies it matches —
+
+* compaction is adopted only when the live element *signature* (per-element
+  type name + bankable-plainness) equals the captured one, which fully
+  determines the grouping :func:`~repro.perf.mna.compact_elements` would
+  compute;
+* the static CSC pattern is adopted only when the freshly recorded COO
+  rows/cols arrays are exactly equal to the captured ones (an ``O(nnz)``
+  compare replacing the ``O(nnz log nnz)`` ``np.unique`` compression);
+* the union pattern is adopted only when the first iteration's dynamic
+  stamp positions form exactly the captured key set — a superset pattern
+  would add explicit zeros and change ``splu`` pivoting.
+
+Each compressed artefact is a deterministic pure function of its verified
+inputs, so an adopted plan reproduces the cold arrays bit for bit; any
+mismatch (stale plan, changed element values' layout, different backend)
+silently falls back to the cold path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+__all__ = [
+    "PLAN_FORMAT",
+    "AssemblyPlan",
+]
+
+#: bump when the captured plan layout (or any compression algorithm whose
+#: output a plan snapshots) changes — old entries then fail validation and
+#: are rebuilt cold instead of being adopted
+PLAN_FORMAT = 1
+
+
+def _as_array(value: Any, dtype, where: str, ndim: int = 1) -> np.ndarray:
+    try:
+        arr = np.asarray(value, dtype=dtype)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"plan.{where}: not a numeric array: {exc}") from exc
+    if arr.ndim != ndim:
+        raise ValueError(f"plan.{where}: expected a {ndim}-d array, got shape {arr.shape}")
+    return arr
+
+
+def _opt_array(value: Any, dtype, where: str, ndim: int = 1) -> Optional[np.ndarray]:
+    return None if value is None else _as_array(value, dtype, where, ndim)
+
+
+def _listify(arr: Optional[np.ndarray]):
+    return None if arr is None else arr.tolist()
+
+
+class AssemblyPlan:
+    """Immutable symbolic-setup snapshot of one assembled MNA system.
+
+    Component availability depends on the run that captured the plan: the
+    compaction block is present whenever bank compaction was enabled, the
+    static-pattern block only for the sparse backend, and the union block
+    only for sparse *nonlinear* runs (it is captured at the first Newton
+    iteration).  A consumer adopts each component independently — see the
+    module docstring for the per-component validation contract.
+    """
+
+    __slots__ = (
+        "n_unknowns", "backend", "linear_only", "compaction",
+        "static_rows", "static_cols",
+        "static_indices", "static_indptr", "static_positions",
+        "dyn_keys",
+        "union_indices", "union_indptr",
+        "union_static_positions", "union_dyn_positions",
+        "_dyn_key_set",
+    )
+
+    def __init__(
+        self,
+        n_unknowns: int,
+        backend: str,
+        linear_only: bool,
+        compaction: Optional[Mapping[str, Any]] = None,
+        static_rows: Optional[np.ndarray] = None,
+        static_cols: Optional[np.ndarray] = None,
+        static_indices: Optional[np.ndarray] = None,
+        static_indptr: Optional[np.ndarray] = None,
+        static_positions: Optional[np.ndarray] = None,
+        dyn_keys: Optional[np.ndarray] = None,
+        union_indices: Optional[np.ndarray] = None,
+        union_indptr: Optional[np.ndarray] = None,
+        union_static_positions: Optional[np.ndarray] = None,
+        union_dyn_positions: Optional[np.ndarray] = None,
+    ):
+        self.n_unknowns = int(n_unknowns)
+        self.backend = str(backend)
+        self.linear_only = bool(linear_only)
+        self.compaction = dict(compaction) if compaction is not None else None
+        self.static_rows = static_rows
+        self.static_cols = static_cols
+        self.static_indices = static_indices
+        self.static_indptr = static_indptr
+        self.static_positions = static_positions
+        self.dyn_keys = dyn_keys
+        self.union_indices = union_indices
+        self.union_indptr = union_indptr
+        self.union_static_positions = union_static_positions
+        self.union_dyn_positions = union_dyn_positions
+        self._dyn_key_set: Optional[set] = None
+
+    # -- component predicates ---------------------------------------------
+    def has_static_pattern(self) -> bool:
+        return (
+            self.backend == "sparse"
+            and self.static_rows is not None
+            and self.static_cols is not None
+            and self.static_indices is not None
+            and self.static_indptr is not None
+            and self.static_positions is not None
+        )
+
+    def has_union_pattern(self) -> bool:
+        return (
+            self.has_static_pattern()
+            and self.dyn_keys is not None
+            and self.union_indices is not None
+            and self.union_indptr is not None
+            and self.union_static_positions is not None
+            and self.union_dyn_positions is not None
+        )
+
+    # -- live-shape validation --------------------------------------------
+    def matches_static(self, rows: np.ndarray, cols: np.ndarray) -> bool:
+        """Whether the freshly recorded static COO layout equals the captured one.
+
+        Exact array equality — the compressed pattern is a deterministic
+        pure function of these arrays, so equality here guarantees the
+        cached indices/indptr/positions are bit-identical to what a cold
+        :meth:`~repro.perf.backends.SparseBackend._compress_pattern` would
+        produce.
+        """
+        return (
+            self.has_static_pattern()
+            and rows.size == self.static_rows.size
+            and np.array_equal(rows, self.static_rows)
+            and np.array_equal(cols, self.static_cols)
+        )
+
+    def dyn_key_set(self) -> set:
+        """The captured dynamic stamp positions as a set of ``(row, col)``."""
+        if self._dyn_key_set is None:
+            keys = self.dyn_keys if self.dyn_keys is not None else np.empty((0, 2), np.int64)
+            self._dyn_key_set = {(int(i), int(j)) for i, j in keys}
+        return self._dyn_key_set
+
+    def matches_dyn(self, dyn_keys: set) -> bool:
+        """Whether the first iteration's dynamic key set equals the captured one.
+
+        Exact set equality, not subset: adopting a larger pattern would
+        store explicit zeros the cold run never sees, changing ``splu``'s
+        pivoting and breaking bit-identity.
+        """
+        return self.has_union_pattern() and dyn_keys == self.dyn_key_set()
+
+    def dyn_pos_of(self) -> dict:
+        """The captured dynamic position map ``{(row, col): data_position}``."""
+        return {
+            (int(i), int(j)): int(p)
+            for (i, j), p in zip(self.dyn_keys, self.union_dyn_positions)
+        }
+
+    # -- serialisation -----------------------------------------------------
+    def to_payload(self) -> dict:
+        """The JSON document a :class:`~repro.perf.plan_store.PlanStore` persists."""
+        return {
+            "plan_format": PLAN_FORMAT,
+            "n_unknowns": self.n_unknowns,
+            "backend": self.backend,
+            "linear_only": self.linear_only,
+            "compaction": self.compaction,
+            "static_rows": _listify(self.static_rows),
+            "static_cols": _listify(self.static_cols),
+            "static_indices": _listify(self.static_indices),
+            "static_indptr": _listify(self.static_indptr),
+            "static_positions": _listify(self.static_positions),
+            "dyn_keys": _listify(self.dyn_keys),
+            "union_indices": _listify(self.union_indices),
+            "union_indptr": _listify(self.union_indptr),
+            "union_static_positions": _listify(self.union_static_positions),
+            "union_dyn_positions": _listify(self.union_dyn_positions),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "AssemblyPlan":
+        """Rebuild a plan from its persisted form (strict; raises ValueError).
+
+        Array dtypes are pinned to what the cold path produces
+        (``int64`` COO coordinates, ``int32`` CSC indices/indptr,
+        ``intp`` position maps) so an adopted pattern is indistinguishable
+        from a freshly compressed one.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValueError("plan payload must be a JSON object")
+        if payload.get("plan_format") != PLAN_FORMAT:
+            raise ValueError(
+                f"unsupported plan_format {payload.get('plan_format')!r} "
+                f"(this build reads {PLAN_FORMAT})"
+            )
+        n = payload.get("n_unknowns")
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise ValueError(f"plan.n_unknowns must be a positive integer, got {n!r}")
+        backend = payload.get("backend")
+        if backend not in ("dense", "sparse"):
+            raise ValueError(f"plan.backend must be 'dense' or 'sparse', got {backend!r}")
+        if not isinstance(payload.get("linear_only"), bool):
+            raise ValueError("plan.linear_only must be true/false")
+        compaction = payload.get("compaction")
+        if compaction is not None:
+            if not isinstance(compaction, Mapping) \
+                    or not isinstance(compaction.get("signature"), list) \
+                    or not isinstance(compaction.get("groups"), Mapping):
+                raise ValueError("plan.compaction must carry 'signature' and 'groups'")
+        plan = cls(
+            n_unknowns=n,
+            backend=backend,
+            linear_only=payload["linear_only"],
+            compaction=compaction,
+            static_rows=_opt_array(payload.get("static_rows"), np.int64, "static_rows"),
+            static_cols=_opt_array(payload.get("static_cols"), np.int64, "static_cols"),
+            static_indices=_opt_array(payload.get("static_indices"), np.int32, "static_indices"),
+            static_indptr=_opt_array(payload.get("static_indptr"), np.int32, "static_indptr"),
+            static_positions=_opt_array(payload.get("static_positions"), np.intp, "static_positions"),
+            dyn_keys=_opt_array(payload.get("dyn_keys"), np.int64, "dyn_keys", ndim=2),
+            union_indices=_opt_array(payload.get("union_indices"), np.int32, "union_indices"),
+            union_indptr=_opt_array(payload.get("union_indptr"), np.int32, "union_indptr"),
+            union_static_positions=_opt_array(
+                payload.get("union_static_positions"), np.intp, "union_static_positions"
+            ),
+            union_dyn_positions=_opt_array(
+                payload.get("union_dyn_positions"), np.intp, "union_dyn_positions"
+            ),
+        )
+        # structural consistency of whatever components are present
+        if plan.static_rows is not None:
+            if plan.static_cols is None or plan.static_rows.size != plan.static_cols.size:
+                raise ValueError("plan static COO rows/cols must be parallel arrays")
+            if plan.static_positions is None \
+                    or plan.static_positions.size != plan.static_rows.size:
+                raise ValueError("plan.static_positions must map every static triplet")
+            if plan.static_indptr is None or plan.static_indptr.size != n + 1:
+                raise ValueError("plan.static_indptr must have n_unknowns+1 entries")
+        if plan.dyn_keys is not None:
+            if plan.dyn_keys.shape[1] != 2:
+                raise ValueError("plan.dyn_keys must be (m, 2) row/col pairs")
+            if plan.union_dyn_positions is None \
+                    or plan.union_dyn_positions.size != plan.dyn_keys.shape[0]:
+                raise ValueError("plan.union_dyn_positions must map every dynamic key")
+            if plan.union_static_positions is None \
+                    or plan.static_rows is None \
+                    or plan.union_static_positions.size != plan.static_rows.size:
+                raise ValueError("plan.union_static_positions must map every static triplet")
+            if plan.union_indptr is None or plan.union_indptr.size != n + 1:
+                raise ValueError("plan.union_indptr must have n_unknowns+1 entries")
+        return plan
+
+    @classmethod
+    def capture(cls, assembler) -> Optional["AssemblyPlan"]:
+        """Snapshot an assembler's symbolic setup state after a cold build.
+
+        Returns ``None`` when the assembler has nothing captur-able yet —
+        e.g. a sparse run that adopted a shared static context and never
+        computed its own COO→CSC position maps.
+        """
+        backend = assembler.backend
+        compaction = assembler._plan_compaction_snapshot()
+        if backend.name != "sparse":
+            return cls(
+                n_unknowns=assembler.compiled.n_unknowns,
+                backend=backend.name,
+                linear_only=assembler.linear_only,
+                compaction=compaction,
+            )
+        if backend._static_rows is None or backend._static_positions is None:
+            return None
+        if not assembler.linear_only and backend._union_dyn_sorted is None:
+            return None
+        kwargs: dict = {}
+        if not assembler.linear_only:
+            kwargs = {
+                "dyn_keys": backend._union_dyn_sorted,
+                "union_indices": backend._indices,
+                "union_indptr": backend._indptr,
+                "union_static_positions": backend._union_static_positions,
+                "union_dyn_positions": backend._union_dyn_positions,
+            }
+        return cls(
+            n_unknowns=assembler.compiled.n_unknowns,
+            backend=backend.name,
+            linear_only=assembler.linear_only,
+            compaction=compaction,
+            static_rows=backend._static_rows,
+            static_cols=backend._static_cols,
+            static_indices=backend._static_indices,
+            static_indptr=backend._static_indptr,
+            static_positions=backend._static_positions,
+            **kwargs,
+        )

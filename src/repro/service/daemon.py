@@ -37,6 +37,10 @@ Endpoints
     completed, failed, queued, workers).
 ``GET /engines``
     The registered engine kinds and backed engine options.
+``GET /stats``
+    Cache-layer counters since daemon start: the job counters plus
+    hit/miss/put counts of the content-addressed result store and of the
+    topology-keyed assembly-plan store (PR 9 warm starts).
 
 Failures never surface as ``500``: a solver failure is a *job* state
 (``failed`` with the PR 6 taxonomy records), not a transport error.
@@ -66,6 +70,7 @@ ROUTES = (
     ("GET", "/jobs/<id>/waveforms"),
     ("GET", "/healthz"),
     ("GET", "/engines"),
+    ("GET", "/stats"),
 )
 
 #: submission bodies above this size are rejected with 413 (an inline-
@@ -134,6 +139,8 @@ class _Handler(BaseHTTPRequestHandler):
             return self._get_healthz()
         if parsed.path == "/engines":
             return self._get_engines()
+        if parsed.path == "/stats":
+            return self._get_stats()
         if parts and parts[0] == "jobs":
             if len(parts) == 1:
                 return self._get_jobs(parse_qs(parsed.query))
@@ -165,6 +172,25 @@ class _Handler(BaseHTTPRequestHandler):
             "result_store": {
                 "enabled": self.manager.store.enabled,
                 "root": self.manager.store.root,
+            },
+        })
+
+    def _get_stats(self) -> None:
+        """Cache-layer counters since daemon start (result + plan stores)."""
+        from repro.perf.plan_store import default_plan_store, plan_store_stats
+
+        plan_store = default_plan_store()
+        self._send_json(200, {
+            "jobs": self.manager.stats(),
+            "result_store": {
+                "enabled": self.manager.store.enabled,
+                "root": self.manager.store.root,
+                **self.manager.store.stats,
+            },
+            "plan_store": {
+                "enabled": plan_store.enabled,
+                "root": plan_store.root,
+                **plan_store_stats(),
             },
         })
 

@@ -72,6 +72,10 @@ class ResultStore:
     def __init__(self, root: Optional[str] = None, enabled: Optional[bool] = None):
         self.root = root if root is not None else default_store_root()
         self._enabled = enabled
+        #: lookup/write counters since construction; the daemon serves them
+        #: through ``GET /stats``.  A disabled store counts every lookup as
+        #: a miss (it *is* one — the job re-solves).
+        self.stats = {"hits": 0, "misses": 0, "puts": 0}
 
     @property
     def enabled(self) -> bool:
@@ -100,8 +104,15 @@ class ResultStore:
         """The stored ``Result.to_dict()`` document of a hash, or ``None``.
 
         Structurally unusable entries (not a result-shaped object) are
-        invalidated so the next run re-solves and rewrites them.
+        invalidated so the next run re-solves and rewrites them.  Counts
+        one hit or miss in :attr:`stats`.
         """
+        payload = self._read(spec_hash)
+        self.stats["hits" if payload is not None else "misses"] += 1
+        return payload
+
+    def _read(self, spec_hash: str) -> Optional[dict]:
+        """:meth:`get` without the counters (``put`` re-reads through this)."""
         if not self.enabled:
             return None
         path = self.json_path(spec_hash)
@@ -127,8 +138,11 @@ class ResultStore:
         document = result.to_dict()
         if not cache.atomic_write_json(self.json_path(spec_hash), document):
             return None
+        self.stats["puts"] += 1
         self._write_npz(spec_hash, result)
-        return self.get(spec_hash)
+        # Re-read through the uncounted path: a put's own verification
+        # round-trip is not a cache hit.
+        return self._read(spec_hash)
 
     def _write_npz(self, spec_hash: str, result: Any) -> None:
         path = self._entry_path(spec_hash, ".npz")

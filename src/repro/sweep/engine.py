@@ -265,6 +265,9 @@ class CircuitSweep:
             "shared_factorizations": 0,
             "static_reuses": 0,
             "block_solves": 0,
+            "symbolic_factorizations": 0,
+            "plan_cache_hits": 0,
+            "plan_cache_misses": 0,
         }
         prepare_batcher = BatchedPrepare() if (fast and self.batch_prepare) else None
 
@@ -449,6 +452,14 @@ class CircuitSweep:
                 stats["batched_prepare_folds"] = prepare_batcher.stats["batched_folds"]
                 stats["batched_prepare_scenarios"] = (
                     prepare_batcher.stats["folded_scenarios"]
+                )
+            # Symbolic-setup counters summed over every solver that ran,
+            # including solo retries (their cold re-runs pay real setup).
+            for key in ("symbolic_factorizations", "plan_cache_hits",
+                        "plan_cache_misses"):
+                stats[key] = sum(
+                    int(solver.perf_stats.get(key, 0))
+                    for solver in (*solvers, *solo_solvers)
                 )
             stats["per_scenario"] = {
                 scenario.name: solver.perf_stats

@@ -233,6 +233,9 @@ _SUM_KEYS = (
     "static_reuses",
     "block_solves",
     "solo_retries",
+    "symbolic_factorizations",
+    "plan_cache_hits",
+    "plan_cache_misses",
 )
 
 #: sorted-name lists unioned across shards
@@ -316,6 +319,10 @@ def merge_shard_results(
             "shared_factorizations": int(
                 part.perf_stats.get("shared_factorizations", 0)
             ),
+            "symbolic_factorizations": int(
+                part.perf_stats.get("symbolic_factorizations", 0)
+            ),
+            "plan_cache_hits": int(part.perf_stats.get("plan_cache_hits", 0)),
             "wall_time": part.wall_time,
         }
         for shard, part in zip(plan.shards, shard_results)

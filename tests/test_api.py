@@ -275,11 +275,14 @@ class TestRegistry:
         from repro.api.engines import option_backend, supported_engine_options
 
         supported = supported_engine_options()
-        assert set(supported) == {"sparse_mna", "batch_prepare", "workers", "shards"}
+        assert set(supported) == {
+            "sparse_mna", "batch_prepare", "workers", "shards", "warm_start",
+        }
         assert "SparseBackend" in option_backend("sparse_mna")
         assert "BatchedPrepare" in option_backend("batch_prepare")
         assert "run_sharded" in option_backend("workers")
         assert "plan_shards" in option_backend("shards")
+        assert "PlanStore" in option_backend("warm_start")
         import dataclasses
 
         spec = _make_spec("circuit")
