@@ -102,6 +102,8 @@ def check_spec_docs() -> None:
         "link": spec_mod.LinkSpec,
         "structure": spec_mod.StructureSpec,
         "scenario": spec_mod.ScenarioSpec,
+        "stats": spec_mod.StatsSpec,
+        "distribution": spec_mod.DistributionSpec,
         "spec": spec_mod.SimulationSpec,
     }
     for block, cls in blocks.items():

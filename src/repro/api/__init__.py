@@ -50,10 +50,12 @@ from repro.api.spec import (
     ENGINE_KINDS,
     FORMAT_VERSION,
     DeviceSpec,
+    DistributionSpec,
     EngineOptions,
     LinkSpec,
     ScenarioSpec,
     SimulationSpec,
+    StatsSpec,
     StimulusSpec,
     StructureSpec,
     load_spec,
@@ -67,6 +69,8 @@ __all__ = [
     "LinkSpec",
     "StructureSpec",
     "ScenarioSpec",
+    "DistributionSpec",
+    "StatsSpec",
     "EngineOptions",
     "spec_from_dict",
     "load_spec",

@@ -76,6 +76,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="override engine.warm_start: force cold setup, ignoring the "
              "plan cache and the REPRO_PLAN_CACHE environment toggle",
     )
+    p_run.add_argument(
+        "--samples", type=int, default=None, metavar="N",
+        help="override stats.samples of a Monte Carlo sweep (the job must "
+             "already declare a stats block)",
+    )
+    p_run.add_argument(
+        "--stat-seed", type=int, default=None, metavar="SEED",
+        help="override stats.seed: the same seed regenerates the identical "
+             "scenario batch (and the identical content hash)",
+    )
 
     p_desc = sub.add_parser("describe", help="validate a job file and print its normalised form")
     p_desc.add_argument("job", help="path to the JSON job file")
@@ -131,8 +141,13 @@ def _cmd_describe(path: str) -> int:
     print(f"duration:     {spec.duration:.3e} s  (~{n_steps} steps at dt = "
           f"{spec.resolved_dt():.3e} s)")
     if spec.kind == "sweep":
-        print(f"scenarios:    {len(spec.scenarios)} "
-              f"({spec.engine.sweep_family} family)")
+        if spec.stats is not None:
+            print(f"scenarios:    {spec.stats.samples} sampled from "
+                  f"{len(spec.stats.distributions)} distributions, seed "
+                  f"{spec.stats.seed} ({spec.engine.sweep_family} family)")
+        else:
+            print(f"scenarios:    {len(spec.scenarios)} "
+                  f"({spec.engine.sweep_family} family)")
     print("normalised spec:")
     print(spec.to_json())
     return 0
@@ -159,6 +174,8 @@ def _cmd_run(
     on_nonconvergence: str | None = None,
     workers: int | None = None,
     warm_start: bool | None = None,
+    samples: int | None = None,
+    stat_seed: int | None = None,
 ) -> int:
     import dataclasses
 
@@ -179,6 +196,20 @@ def _cmd_run(
     if overrides:
         spec = dataclasses.replace(
             spec, engine=dataclasses.replace(spec.engine, **overrides)
+        )
+    stat_overrides = {}
+    if samples is not None:
+        stat_overrides["samples"] = samples
+    if stat_seed is not None:
+        stat_overrides["seed"] = stat_seed
+    if stat_overrides:
+        if spec.stats is None:
+            raise ValueError(
+                "--samples/--stat-seed need a job with a stats block "
+                "(see docs/job-spec.md)"
+            )
+        spec = dataclasses.replace(
+            spec, stats=dataclasses.replace(spec.stats, **stat_overrides)
         )
     print(f"running {spec.kind} job {path}"
           + (f" [{spec.label}]" if spec.label else "")
@@ -207,6 +238,23 @@ def _cmd_run(
     health = result.perf_stats.get("health")
     if health:
         print(f"health:    {_health_line(health)}")
+    mc = result.meta.get("montecarlo")
+    if mc:
+        height = mc["eye_height"]["percentiles"]
+        width = mc["eye_width"]["percentiles"]
+        print(f"montecarlo: {mc['completed']}/{mc['generated']} scenarios "
+              f"(seed {mc['seed']}, {mc['corner_groups']} corner groups)")
+        print(f"  eye height p1/p50/p99: {height['p1']:.4g} / {height['p50']:.4g} "
+              f"/ {height['p99']:.4g} V")
+        print(f"  eye width  p1/p50/p99: {width['p1']*1e12:.4g} / "
+              f"{width['p50']*1e12:.4g} / {width['p99']*1e12:.4g} ps")
+        worst = mc["worst"]
+        print(f"  worst case: {worst['scenario']} "
+              f"(height {worst['eye_height']:.4g} V, "
+              f"width {worst['eye_width']*1e12:.4g} ps)")
+        for entry in mc["refinement"]:
+            print(f"  refine round {entry['round']}: worst height "
+                  f"{entry['worst_height']:.4g} V ({entry['worst_scenario']})")
     status = result.meta.get("scenario_status") or {}
     failed = sorted(name for name, st in status.items() if st == "failed")
     if failed:
@@ -243,6 +291,8 @@ def main(argv: list[str] | None = None) -> int:
                 on_nonconvergence=args.on_nonconvergence,
                 workers=args.workers,
                 warm_start=args.warm_start,
+                samples=args.samples,
+                stat_seed=args.stat_seed,
             )
         if args.command == "serve":
             from repro.service import serve

@@ -288,6 +288,11 @@ def build_sweep(spec: SimulationSpec, models=None):
         rbf_link_sweep,
     )
 
+    if spec.stats is not None:
+        raise ValueError(
+            "build_sweep needs an expanded scenario batch; a stats spec is "
+            "sampled by repro.sweep.montecarlo.run_montecarlo first"
+        )
     scenarios = [sc.to_scenario() for sc in spec.scenarios]
     dt = spec.engine.dt if spec.engine.dt is not None else DEFAULT_DT
     options = _transient_options(spec)
@@ -326,6 +331,20 @@ def _run_sweep(spec: SimulationSpec, models=None) -> Result:
     from repro.sweep.shard import resolve_worker_count, run_sharded
 
     dt = spec.engine.dt if spec.engine.dt is not None else DEFAULT_DT
+    meta = _spec_meta(spec)
+    meta["dt"] = dt
+    if spec.stats is not None:
+        # Monte Carlo statistical sweep: the stats block is expanded into
+        # a generated scenario batch and executed through the same
+        # (sharded) path below; the statistical summary rides in meta.
+        from repro.sweep.montecarlo import run_montecarlo
+
+        engine_label = (
+            "sweep-linear" if spec.engine.sweep_family == "linear" else "sweep-rbf"
+        )
+        result, mc_summary = run_montecarlo(spec, models=models)
+        meta["montecarlo"] = mc_summary
+        return Result.from_sweep_result(result, engine=engine_label, meta=meta)
     workers = resolve_worker_count(spec.engine.workers)
     if workers > 1 or spec.engine.shards is not None:
         engine_label = (
@@ -335,8 +354,6 @@ def _run_sweep(spec: SimulationSpec, models=None) -> Result:
     else:
         sweep, engine_label = build_sweep(spec, models=models)
         result = sweep.run()
-    meta = _spec_meta(spec)
-    meta["dt"] = dt
     return Result.from_sweep_result(result, engine=engine_label, meta=meta)
 
 

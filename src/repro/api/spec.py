@@ -37,11 +37,14 @@ from typing import Any, Mapping, Optional, Tuple
 __all__ = [
     "FORMAT_VERSION",
     "ENGINE_KINDS",
+    "DISTRIBUTION_KINDS",
     "StimulusSpec",
     "DeviceSpec",
     "LinkSpec",
     "StructureSpec",
     "ScenarioSpec",
+    "DistributionSpec",
+    "StatsSpec",
     "EngineOptions",
     "SimulationSpec",
     "spec_from_dict",
@@ -53,6 +56,10 @@ FORMAT_VERSION = 1
 
 #: the engine kinds a spec may request (see :mod:`repro.api.engines`)
 ENGINE_KINDS = ("circuit", "fdtd1d", "fdtd3d", "sweep")
+
+#: the parameter-distribution kinds a ``stats`` block may declare
+#: (see :class:`DistributionSpec` and :mod:`repro.sweep.montecarlo`)
+DISTRIBUTION_KINDS = ("uniform", "normal", "choice", "pattern")
 
 #: default time step of the SPICE-class engines and sweeps when
 #: ``engine.dt`` is null — the single source for the adapters
@@ -440,6 +447,356 @@ class ScenarioSpec:
 
 
 @dataclasses.dataclass(frozen=True)
+class DistributionSpec:
+    """One sampled parameter distribution of a ``stats`` block.
+
+    The distribution grammar of Monte Carlo statistical SI
+    (:mod:`repro.sweep.montecarlo`).  Numeric kinds target corner values
+    and drive strengths; ``pattern`` targets random bit patterns.
+
+    Attributes
+    ----------
+    kind:
+        ``"uniform"`` (``low``/``high``), ``"normal"`` (``mean``/``std``,
+        optional ``low``/``high`` clip bounds), ``"choice"`` (finite
+        ``values``, optional ``weights``) or ``"pattern"`` (a random 0/1
+        string of ``bits`` bits).
+    low, high:
+        Range of a uniform distribution, or clip bounds of a normal one.
+    mean, std:
+        Centre and width of a normal distribution (``std`` > 0).
+    values:
+        The support of a choice distribution: numbers for numeric
+        targets, 0/1 strings when targeting ``bit_pattern``.
+    weights:
+        Optional relative weights of ``values`` (same length, > 0);
+        empty means equiprobable.
+    bits:
+        Length of a random ``pattern`` draw (>= 1).
+    """
+
+    kind: str
+    low: Optional[float] = None
+    high: Optional[float] = None
+    mean: Optional[float] = None
+    std: Optional[float] = None
+    values: Tuple[Any, ...] = ()
+    weights: Tuple[float, ...] = ()
+    bits: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in DISTRIBUTION_KINDS:
+            raise ValueError(
+                f"distribution kind must be one of {DISTRIBUTION_KINDS}, got {self.kind!r}"
+            )
+        object.__setattr__(self, "low", _opt_float(self.low, "distribution.low"))
+        object.__setattr__(self, "high", _opt_float(self.high, "distribution.high"))
+        object.__setattr__(self, "mean", _opt_float(self.mean, "distribution.mean"))
+        object.__setattr__(self, "std", _opt_float(self.std, "distribution.std"))
+        object.__setattr__(self, "values", tuple(self.values))
+        object.__setattr__(
+            self,
+            "weights",
+            tuple(_as_float(w, "distribution.weights") for w in self.weights),
+        )
+        if self.kind == "uniform":
+            if self.low is None or self.high is None:
+                raise ValueError("uniform distribution needs low and high")
+            if not self.low < self.high:
+                raise ValueError(
+                    f"uniform distribution needs low < high, got [{self.low}, {self.high}]"
+                )
+        elif self.kind == "normal":
+            if self.mean is None or self.std is None:
+                raise ValueError("normal distribution needs mean and std")
+            if self.std <= 0:
+                raise ValueError("normal distribution needs std > 0")
+            if self.low is not None and self.high is not None \
+                    and not self.low < self.high:
+                raise ValueError("normal clip bounds need low < high")
+        elif self.kind == "choice":
+            if not self.values:
+                raise ValueError("choice distribution needs a non-empty values list")
+            numeric = [
+                not isinstance(v, bool) and isinstance(v, (int, float))
+                for v in self.values
+            ]
+            stringy = [
+                isinstance(v, str) and v != "" and not set(v) - {"0", "1"}
+                for v in self.values
+            ]
+            if all(numeric):
+                object.__setattr__(
+                    self, "values", tuple(float(v) for v in self.values)
+                )
+            elif not all(stringy):
+                raise ValueError(
+                    "choice values must be all numbers or all 0/1 pattern strings, "
+                    f"got {list(self.values)!r}"
+                )
+            if self.weights:
+                if len(self.weights) != len(self.values):
+                    raise ValueError(
+                        f"choice weights ({len(self.weights)}) must match values "
+                        f"({len(self.values)})"
+                    )
+                if any(w <= 0 for w in self.weights):
+                    raise ValueError("choice weights must be positive")
+        else:  # pattern
+            if self.bits is None:
+                raise ValueError("pattern distribution needs bits")
+            object.__setattr__(self, "bits", _as_int(self.bits, "distribution.bits"))
+            if self.bits < 1:
+                raise ValueError("pattern distribution needs bits >= 1")
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether draws are numbers (vs 0/1 pattern strings)."""
+        if self.kind == "pattern":
+            return False
+        if self.kind == "choice":
+            return not self.values or isinstance(self.values[0], float)
+        return True
+
+    def to_dict(self) -> dict:
+        doc: dict = {"kind": self.kind}
+        if self.low is not None:
+            doc["low"] = self.low
+        if self.high is not None:
+            doc["high"] = self.high
+        if self.mean is not None:
+            doc["mean"] = self.mean
+        if self.std is not None:
+            doc["std"] = self.std
+        if self.values:
+            doc["values"] = list(self.values)
+        if self.weights:
+            doc["weights"] = list(self.weights)
+        if self.bits is not None:
+            doc["bits"] = self.bits
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: Any, where: str = "distribution") -> "DistributionSpec":
+        data = _require_mapping(data, where)
+        allowed = {"kind", "low", "high", "mean", "std", "values", "weights", "bits"}
+        _reject_unknown(data, allowed, where)
+        if "kind" not in data:
+            raise ValueError(f"{where}: a distribution needs a kind")
+        values = data.get("values", ())
+        weights = data.get("weights", ())
+        for name, seq in (("values", values), ("weights", weights)):
+            if not isinstance(seq, (list, tuple)):
+                raise ValueError(f"{where}.{name}: expected a JSON array")
+        try:
+            return cls(
+                kind=data["kind"],
+                low=data.get("low"),
+                high=data.get("high"),
+                mean=data.get("mean"),
+                std=data.get("std"),
+                values=tuple(values),
+                weights=tuple(weights),
+                bits=data.get("bits"),
+            )
+        except ValueError as exc:
+            raise ValueError(f"{where}: {exc}") from None
+
+
+#: the scenario dimensions a stats distribution may target besides
+#: ``corner.<parameter>``
+_STATS_DIRECT_TARGETS = ("bit_pattern", "drive_strength")
+
+
+@dataclasses.dataclass(frozen=True)
+class StatsSpec:
+    """Monte Carlo statistical-exploration block of a ``sweep`` job.
+
+    Instead of enumerating scenarios by hand, a ``stats`` block *samples*
+    them: ``samples`` scenarios are drawn deterministically from ``seed``
+    out of the declared parameter ``distributions`` and fed through the
+    ordinary (sharded) sweep engine — the generated batch replaces the
+    ``scenarios`` array, which must be empty.  RHS-only dimensions
+    (``bit_pattern``, ``drive_strength``) never split a corner group, so
+    sampling composes with one-factorization-per-group and shard fan-out
+    for free; corner draws are limited to ``corner_groups`` distinct
+    values so the factorization sharing survives continuous
+    distributions.  See :mod:`repro.sweep.montecarlo` and
+    ``docs/job-spec.md``.
+
+    Attributes
+    ----------
+    samples:
+        Number of scenarios to generate (>= 1).
+    seed:
+        RNG seed; the same seed regenerates bit-identical scenarios (and
+        therefore the same waveforms and the same ``content_hash`` —
+        reruns hit the result store instead of solving).
+    distributions:
+        Mapping of target -> :class:`DistributionSpec`.  Targets:
+        ``"corner.<parameter>"`` (static-affecting corner values, e.g.
+        ``corner.load_resistance``, ``corner.delay`` for launch-timing
+        skew), ``"drive_strength"`` (linear family only) and
+        ``"bit_pattern"`` (``pattern`` or 0/1-string ``choice`` kinds).
+    corner_groups:
+        Number of distinct corner draws shared across the batch (each
+        scenario is assigned one round-robin).  ``null`` gives every
+        scenario its own draw — one factorization per scenario, which
+        defeats the sweep engine's sharing for continuous distributions.
+    node, low, high, t_start:
+        Eye-measurement parameters of the statistical outputs: the
+        recorded node to fold and the logic thresholds / first bit
+        boundary passed to :func:`repro.sweep.report.eye_report`.
+    bins:
+        Histogram bin count of the distribution summaries.
+    refine_rounds:
+        Adaptive worst-case refinement rounds (0 disables): each round
+        resamples ``refine_samples`` scenarios from distributions
+        re-centred on the emerging worst corner and shrunk by
+        ``refine_shrink``, strictly tightening the worst-case estimate.
+    refine_samples:
+        Scenarios per refinement round (>= 1).
+    refine_shrink:
+        Multiplicative width shrink per refinement round, in ``(0, 1]``.
+    """
+
+    samples: int
+    seed: int = 0
+    distributions: Mapping[str, DistributionSpec] = dataclasses.field(default_factory=dict)
+    corner_groups: Optional[int] = None
+    node: str = "far"
+    low: float = 0.0
+    high: float = 1.8
+    t_start: float = 0.0
+    bins: int = 20
+    refine_rounds: int = 0
+    refine_samples: int = 16
+    refine_shrink: float = 0.5
+
+    def __post_init__(self):
+        object.__setattr__(self, "samples", _as_int(self.samples, "stats.samples"))
+        if self.samples < 1:
+            raise ValueError("stats.samples must be at least 1")
+        object.__setattr__(self, "seed", _as_int(self.seed, "stats.seed"))
+        if not isinstance(self.distributions, Mapping) or not self.distributions:
+            raise ValueError("stats.distributions must be a non-empty object")
+        dists = {}
+        for target, dist in dict(self.distributions).items():
+            where = f"stats.distributions[{target!r}]"
+            if not isinstance(dist, DistributionSpec):
+                dist = DistributionSpec.from_dict(dist, where)
+            if target == "bit_pattern":
+                if dist.is_numeric:
+                    raise ValueError(
+                        f"{where}: bit_pattern needs a 'pattern' kind or a choice "
+                        f"of 0/1 strings, got numeric {dist.kind!r}"
+                    )
+            elif target == "drive_strength" or target.startswith("corner."):
+                if not dist.is_numeric:
+                    raise ValueError(
+                        f"{where}: {target} needs a numeric distribution, "
+                        f"got {dist.kind!r}"
+                    )
+                if target.startswith("corner.") and not target[len("corner."):]:
+                    raise ValueError(f"{where}: empty corner parameter name")
+            else:
+                raise ValueError(
+                    f"stats.distributions: unknown target {target!r}; expected "
+                    f"'corner.<parameter>' or one of {list(_STATS_DIRECT_TARGETS)}"
+                )
+            dists[str(target)] = dist
+        object.__setattr__(self, "distributions", dists)
+        if self.corner_groups is not None:
+            object.__setattr__(
+                self, "corner_groups", _as_int(self.corner_groups, "stats.corner_groups")
+            )
+            if self.corner_groups < 1:
+                raise ValueError("stats.corner_groups must be at least 1 (or null)")
+        if not isinstance(self.node, str) or not self.node:
+            raise ValueError(f"stats.node must be a non-empty string, got {self.node!r}")
+        object.__setattr__(self, "low", _as_float(self.low, "stats.low"))
+        object.__setattr__(self, "high", _as_float(self.high, "stats.high"))
+        if not self.low < self.high:
+            raise ValueError("stats logic thresholds need low < high")
+        object.__setattr__(self, "t_start", _as_float(self.t_start, "stats.t_start"))
+        if self.t_start < 0:
+            raise ValueError("stats.t_start must be non-negative")
+        object.__setattr__(self, "bins", _as_int(self.bins, "stats.bins"))
+        if self.bins < 2:
+            raise ValueError("stats.bins must be at least 2")
+        object.__setattr__(
+            self, "refine_rounds", _as_int(self.refine_rounds, "stats.refine_rounds")
+        )
+        if self.refine_rounds < 0:
+            raise ValueError("stats.refine_rounds must be non-negative")
+        object.__setattr__(
+            self, "refine_samples", _as_int(self.refine_samples, "stats.refine_samples")
+        )
+        if self.refine_samples < 1:
+            raise ValueError("stats.refine_samples must be at least 1")
+        object.__setattr__(
+            self, "refine_shrink", _as_float(self.refine_shrink, "stats.refine_shrink")
+        )
+        if not 0 < self.refine_shrink <= 1:
+            raise ValueError("stats.refine_shrink must lie in (0, 1]")
+
+    def corner_targets(self) -> dict:
+        """The ``corner.<name>`` distributions, keyed by bare parameter name."""
+        return {
+            target[len("corner."):]: dist
+            for target, dist in self.distributions.items()
+            if target.startswith("corner.")
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "samples": self.samples,
+            "seed": self.seed,
+            "distributions": {
+                target: dist.to_dict()
+                for target, dist in sorted(self.distributions.items())
+            },
+            "corner_groups": self.corner_groups,
+            "node": self.node,
+            "low": self.low,
+            "high": self.high,
+            "t_start": self.t_start,
+            "bins": self.bins,
+            "refine_rounds": self.refine_rounds,
+            "refine_samples": self.refine_samples,
+            "refine_shrink": self.refine_shrink,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any, where: str = "stats") -> "StatsSpec":
+        data = _require_mapping(data, where)
+        allowed = {
+            "samples", "seed", "distributions", "corner_groups", "node", "low",
+            "high", "t_start", "bins", "refine_rounds", "refine_samples",
+            "refine_shrink",
+        }
+        _reject_unknown(data, allowed, where)
+        if "samples" not in data:
+            raise ValueError(f"{where}: a stats block needs a sample count")
+        return cls(
+            samples=data["samples"],
+            seed=data.get("seed", 0),
+            distributions=_require_mapping(
+                data.get("distributions", {}), f"{where}.distributions"
+            ),
+            corner_groups=data.get("corner_groups"),
+            node=data.get("node", "far"),
+            low=data.get("low", 0.0),
+            high=data.get("high", 1.8),
+            t_start=data.get("t_start", 0.0),
+            bins=data.get("bins", 20),
+            refine_rounds=data.get("refine_rounds", 0),
+            refine_samples=data.get("refine_samples", 16),
+            refine_shrink=data.get("refine_shrink", 0.5),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class EngineOptions:
     """Engine tuning knobs shared by every kind (irrelevant ones are ignored).
 
@@ -631,6 +988,14 @@ class SimulationSpec:
         ``sweep``.
     scenarios:
         The scenario batch of a sweep job.
+    stats:
+        Monte Carlo statistical-exploration block (``sweep`` kind only):
+        the scenario batch is *generated* — sampled deterministically
+        from the declared parameter distributions — instead of being
+        written out.  Mutually exclusive with ``scenarios``.  Part of
+        :meth:`content_hash` (a different seed or sample count is a
+        different job) but not of :meth:`topology_hash` (sampling never
+        moves an MNA stamp).
     label:
         Free-form human label (part of the content hash).
     """
@@ -643,6 +1008,7 @@ class SimulationSpec:
     structure: StructureSpec = dataclasses.field(default_factory=StructureSpec)
     scenarios: Tuple[ScenarioSpec, ...] = ()
     engine: EngineOptions = dataclasses.field(default_factory=EngineOptions)
+    stats: Optional[StatsSpec] = None
     label: str = ""
 
     def __post_init__(self):
@@ -654,9 +1020,23 @@ class SimulationSpec:
         if not isinstance(self.label, str):
             raise ValueError(f"label: expected a string, got {self.label!r}")
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        if self.stats is not None and not isinstance(self.stats, StatsSpec):
+            raise ValueError("stats must be a StatsSpec block (or null)")
         if self.kind == "sweep":
-            if not self.scenarios:
-                raise ValueError("a sweep spec needs at least one scenario")
+            if self.stats is not None:
+                if self.scenarios:
+                    raise ValueError(
+                        "a stats block generates the scenario batch; scenarios "
+                        "must be empty when stats is set"
+                    )
+                if self.engine.sweep_family == "rbf" \
+                        and "drive_strength" in self.stats.distributions:
+                    raise ValueError(
+                        "rbf sweep stats cannot sample drive_strength (the "
+                        "identified driver fixes the drive)"
+                    )
+            elif not self.scenarios:
+                raise ValueError("a sweep spec needs at least one scenario (or a stats block)")
             names = [sc.name for sc in self.scenarios]
             if len(set(names)) != len(names):
                 raise ValueError(f"scenario names must be unique, got {names}")
@@ -674,14 +1054,21 @@ class SimulationSpec:
                 )
         elif self.scenarios:
             raise ValueError(f"scenarios are only valid for kind='sweep', not {self.kind!r}")
+        elif self.stats is not None:
+            raise ValueError(f"a stats block is only valid for kind='sweep', not {self.kind!r}")
         if self.kind == "circuit" and self.engine.variant == "transistor" \
                 and self.devices.source == "inline":
             raise ValueError("the transistor-level variant does not use inline macromodels")
 
     # -- serialisation -----------------------------------------------------
     def to_dict(self) -> dict:
-        """The strict JSON form of this spec (``spec_from_dict`` inverts it)."""
-        return {
+        """The strict JSON form of this spec (``spec_from_dict`` inverts it).
+
+        The ``stats`` key is present only when the block is set, so the
+        content hashes (and cached results) of pre-existing non-statistical
+        jobs are unchanged by the Monte Carlo layer.
+        """
+        doc = {
             "format_version": FORMAT_VERSION,
             "kind": self.kind,
             "label": self.label,
@@ -693,6 +1080,9 @@ class SimulationSpec:
             "scenarios": [sc.to_dict() for sc in self.scenarios],
             "engine": self.engine.to_dict(),
         }
+        if self.stats is not None:
+            doc["stats"] = self.stats.to_dict()
+        return doc
 
     def to_json(self, indent: int | None = 2) -> str:
         """The spec as a JSON document (what a job file contains)."""
@@ -730,9 +1120,10 @@ class SimulationSpec:
         patterns never move an MNA stamp), so the hash covers the
         ``devices``/``link``/``structure`` blocks plus the engine options
         that select the assembled system (variant, sweep family, sparse
-        backend) — excluding ``stimulus``, ``scenarios``, ``label``,
-        ``duration`` and the scheduling/policy knobs listed in
-        ``_TOPOLOGY_NEUTRAL_ENGINE_KEYS``.  It keys the cross-job
+        backend) — excluding ``stimulus``, ``scenarios``, ``stats``
+        (sampled dimensions are stimulus/corner values, never new
+        stamps), ``label``, ``duration`` and the scheduling/policy knobs
+        listed in ``_TOPOLOGY_NEUTRAL_ENGINE_KEYS``.  It keys the cross-job
         :class:`~repro.perf.plan_store.PlanStore`: every worker of a
         sharded sweep, every Monte Carlo variation and every
         near-duplicate service job of the same system resolves to the
@@ -784,6 +1175,14 @@ class SimulationSpec:
         changes: dict = {"duration": duration}
         if self.kind == "fdtd3d" and self.structure.scale > 0.125:
             changes["structure"] = dataclasses.replace(self.structure, scale=0.125)
+        if self.stats is not None:
+            # A Monte Carlo smoke keeps the generator but caps the batch.
+            changes["stats"] = dataclasses.replace(
+                self.stats,
+                samples=min(self.stats.samples, 8),
+                refine_rounds=min(self.stats.refine_rounds, 1),
+                refine_samples=min(self.stats.refine_samples, 4),
+            )
         return dataclasses.replace(self, **changes)
 
 
@@ -792,7 +1191,7 @@ def spec_from_dict(data: Any) -> SimulationSpec:
     data = _require_mapping(data, "spec")
     allowed = {
         "format_version", "kind", "label", "duration", "stimulus", "devices",
-        "link", "structure", "scenarios", "engine",
+        "link", "structure", "scenarios", "engine", "stats",
     }
     _reject_unknown(data, allowed, "spec")
     version = data.get("format_version")
@@ -817,6 +1216,10 @@ def spec_from_dict(data: Any) -> SimulationSpec:
             for k, sc in enumerate(scenarios_data)
         ),
         engine=EngineOptions.from_dict(data.get("engine", {})),
+        stats=(
+            StatsSpec.from_dict(data["stats"])
+            if data.get("stats") is not None else None
+        ),
         label=data.get("label", ""),
     )
 

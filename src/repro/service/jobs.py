@@ -104,6 +104,17 @@ class Job:
             if "shards" in perf:
                 doc["shards"] = perf["shards"]
                 doc["parallel_efficiency"] = perf.get("parallel_efficiency")
+            # A Monte Carlo sweep (stats block) carries its statistical
+            # summary in meta; surface the headline numbers.
+            mc = (self.result_doc.get("meta") or {}).get("montecarlo")
+            if mc is not None:
+                doc["montecarlo"] = {
+                    "samples": mc.get("samples"),
+                    "seed": mc.get("seed"),
+                    "generated": mc.get("generated"),
+                    "completed": mc.get("completed"),
+                    "worst": mc.get("worst"),
+                }
         if self.state == "failed":
             doc["error"] = self.error
             doc["failures"] = list(self.failures)

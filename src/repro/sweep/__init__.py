@@ -12,7 +12,10 @@ done once:
   MNA + LU, multi-RHS linear block solves, batched RBF evaluation);
 * :mod:`repro.sweep.links` — canned linear and RBF link testbenches;
 * :mod:`repro.sweep.result` — the :class:`SweepResult` container;
-* :mod:`repro.sweep.report` — eye-diagram / worst-case-corner reports.
+* :mod:`repro.sweep.report` — eye-diagram / worst-case-corner reports,
+  plus the statistical summaries (distributions, bathtub curves);
+* :mod:`repro.sweep.montecarlo` — seed-keyed Monte Carlo scenario
+  sampling and adaptive worst-case refinement over the sharded engine.
 """
 
 from repro.sweep.engine import CircuitSweep
@@ -22,7 +25,13 @@ from repro.sweep.links import (
     linear_link_sweep,
     rbf_link_sweep,
 )
-from repro.sweep.report import SweepEyeReport, eye_report
+from repro.sweep.montecarlo import generate_scenarios, run_montecarlo
+from repro.sweep.report import (
+    SweepEyeReport,
+    bathtub_curve,
+    eye_report,
+    metric_distribution,
+)
 from repro.sweep.result import SweepResult
 from repro.sweep.scenario import Scenario
 
@@ -34,6 +43,10 @@ __all__ = [
     "rbf_link_sweep",
     "SweepEyeReport",
     "eye_report",
+    "metric_distribution",
+    "bathtub_curve",
+    "generate_scenarios",
+    "run_montecarlo",
     "SweepResult",
     "Scenario",
 ]

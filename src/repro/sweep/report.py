@@ -4,18 +4,33 @@ The point of running many scenarios is the summary: which bit pattern /
 corner combination closes the eye the most.  This module folds every
 scenario of a :class:`~repro.sweep.result.SweepResult` through
 :mod:`repro.waveforms.eye` and reports per-scenario eye height/width plus
-the worst-case scenario of each metric.
+the worst-case scenario of each metric.  The statistical layer on top
+(:mod:`repro.sweep.montecarlo`) aggregates thousands of such metrics
+through :func:`metric_distribution` (percentiles + histogram) and
+:func:`bathtub_curve` (BER-style per-phase violation rates).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List
+from typing import List, Sequence
+
+import numpy as np
 
 from repro.experiments.reporting import format_table
 from repro.sweep.result import SweepResult
+from repro.waveforms.eye import EyeDiagram
 
-__all__ = ["EyeReportRow", "SweepEyeReport", "eye_report"]
+__all__ = [
+    "EyeReportRow",
+    "SweepEyeReport",
+    "eye_report",
+    "metric_distribution",
+    "bathtub_curve",
+]
+
+#: percentile levels of a metric distribution summary
+_PERCENTILES = (1, 5, 25, 50, 75, 95, 99)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -138,3 +153,89 @@ def eye_report(
             f"no completed scenarios to report on (failed: {failed})"
         )
     return SweepEyeReport(node=node, bit_time=bit_time, rows=rows, failed=failed)
+
+
+def metric_distribution(values: Sequence[float], bins: int = 20) -> dict:
+    """Statistical summary of one scalar metric across many scenarios.
+
+    The JSON-safe building block of the Monte Carlo outputs: count /
+    mean / std / min / max, the standard percentile ladder (p1 … p99,
+    linear interpolation) and a fixed-width histogram over the observed
+    range (``bins`` bins; a degenerate all-equal sample gets one bin
+    holding everything).
+    """
+    if len(values) == 0:
+        raise ValueError("metric_distribution needs at least one value")
+    if bins < 2:
+        raise ValueError(f"histogram needs at least 2 bins, got {bins}")
+    arr = np.asarray(values, dtype=float)
+    levels = np.percentile(arr, _PERCENTILES)
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi > lo:
+        counts, edges = np.histogram(arr, bins=bins, range=(lo, hi))
+    else:
+        counts, edges = np.array([arr.size]), np.array([lo, hi if hi > lo else lo + 1e-30])
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "std": float(arr.std()),
+        "min": lo,
+        "max": hi,
+        "percentiles": {
+            f"p{level}": float(value) for level, value in zip(_PERCENTILES, levels)
+        },
+        "histogram": {
+            "edges": [float(e) for e in edges],
+            "counts": [int(c) for c in counts],
+        },
+    }
+
+
+def bathtub_curve(
+    eyes: Sequence[EyeDiagram], low: float, high: float
+) -> dict:
+    """BER-style per-phase violation rates aggregated across many eyes.
+
+    Every folded trace of every eye is classified HIGH or LOW by the mean
+    of its central 20 % window (the same decision :meth:`EyeDiagram.eye_height`
+    uses); at each phase sample a trace *violates* when it is on the
+    wrong side of the logic midline or within the 5 %-of-swing guard band
+    around it (the :meth:`EyeDiagram.eye_width` clearance).  The
+    violation rate per phase across all traces is the bathtub: high at
+    the unit-interval edges where edges transition, low (ideally zero)
+    in the eye centre.
+
+    All eyes must share one phase axis (they do when folded from one
+    lockstep sweep); a mismatched axis raises instead of silently
+    resampling.
+    """
+    if not eyes:
+        raise ValueError("bathtub_curve needs at least one eye")
+    first = eyes[0]
+    mid = 0.5 * (low + high)
+    guard = 0.05 * (high - low)
+    centre = 0.5 * first.bit_time
+    half_win = 0.1 * first.bit_time
+    n_phase = first.phase.size
+    violations = np.zeros(n_phase, dtype=np.int64)
+    total = 0
+    for eye in eyes:
+        if eye.phase.size != n_phase or not np.allclose(eye.phase, first.phase):
+            raise ValueError(
+                "bathtub_curve needs a common phase axis across all eyes"
+            )
+        window = (eye.phase >= centre - half_win) & (eye.phase <= centre + half_win)
+        is_high = eye.traces[:, window].mean(axis=1) >= mid
+        # wrong side of the midline, or inside the guard band around it
+        signed = np.where(is_high[:, None], eye.traces - mid, mid - eye.traces)
+        violations += (signed < guard).sum(axis=0)
+        total += eye.n_traces
+    rate = violations / float(total)
+    return {
+        "phase": [float(p) for p in first.phase],
+        "phase_fraction": [float(p / first.bit_time) for p in first.phase],
+        "violation_rate": [float(r) for r in rate],
+        "n_traces": int(total),
+        "guard": float(guard),
+        "open_fraction": float(np.mean(rate == 0.0)),
+    }

@@ -223,6 +223,34 @@ class TestSweepResultAndReport:
         text = report.format()
         assert "worst eye height" in text and "weak" in text
 
+    def test_eye_report_pinned_non_integer_ratio(self):
+        # Pins eye_report numbers at a non-integer bit_time/dt ratio
+        # (2e-9 / 3e-11 = 66.67) after the PR-10 eye.py folding fixes.
+        # Before them the same sweep folded at the silently rounded
+        # period 2.01e-9 and dropped a trace (6 of 7), reading
+        # strong: height 1.997797, width 1470 ps
+        # weak:   height 0.138226, width  630 ps
+        # — the weak width under-read by ~40 % because the boundary-
+        # centred part of the clear arc was split off, and heights were
+        # measured against drifted traces.
+        scenarios = [
+            Scenario(name="strong", bit_pattern="0101101", drive_strength=1.0),
+            Scenario(name="weak", bit_pattern="0101101", drive_strength=0.45),
+        ]
+        sweep = linear_link_sweep(scenarios, dt=3e-11, duration=16e-9)
+        result = sweep.run()
+        report = eye_report(result, "far", 2e-9, low=0.0, high=1.8, t_start=2e-9)
+
+        strong = next(r for r in report.rows if r.scenario == "strong")
+        weak = next(r for r in report.rows if r.scenario == "weak")
+        eye = result.eye("strong", "far", 2e-9, t_start=2e-9)
+        assert eye.bit_time == 2e-9  # exactly as requested, not 67 * dt
+        assert eye.n_traces == 7
+        assert strong.eye_height == pytest.approx(1.997797, abs=1e-5)
+        assert strong.eye_width == pytest.approx(1910e-12, abs=1e-14)
+        assert weak.eye_height == pytest.approx(0.136825, abs=1e-5)
+        assert weak.eye_width == pytest.approx(1070e-12, abs=1e-14)
+
     def test_result_accessors_and_errors(self):
         scenarios = [Scenario(name="only", bit_pattern="010")]
         sweep = linear_link_sweep(scenarios, dt=1e-11, duration=2e-9)

@@ -166,3 +166,117 @@ class TestEyeDiagram:
         t, v = self._bit_wave("01")
         with pytest.raises(ValueError):
             eye_diagram(t, v, 1e-12)
+
+
+class TestEyeFoldingExactness:
+    """Regressions for the PR-10 eye.py fixes.
+
+    Before them, ``eye_diagram`` silently refolded at
+    ``round(bit_time/dt) * dt`` when the ratio was not an integer
+    (accumulating one residual per trace), started the phase axis at 0
+    even for an off-grid ``t_start``, and ``eye_width`` both counted a
+    ``k``-sample clear run as ``k*dt`` (it spans ``(k-1)*dt``) and split
+    a boundary-centred eye into two short runs.
+    """
+
+    def _square(self, bits, bit_time, dt, t0=0.0):
+        """Ideal square wave sampled off any bit-aligned grid."""
+        t = t0 + dt * np.arange(int(len(bits) * bit_time / dt))
+        idx = np.minimum((t / bit_time).astype(int), len(bits) - 1)
+        v = np.array([float(bits[i]) for i in idx])
+        return t, v
+
+    def test_non_integer_ratio_keeps_requested_bit_time(self):
+        bits = "01" * 10
+        t, v = self._square(bits, bit_time=1.0, dt=0.3)
+        eye = eye_diagram(t, v, 1.0)
+        # the reported period is exactly the requested one, never a
+        # silently rounded 0.9 (= round(10/3) * 0.3)
+        assert eye.bit_time == 1.0
+        assert eye.n_traces == len(bits)
+
+    def test_non_integer_ratio_does_not_drift(self):
+        # bit_time/dt = 10/3: the old reshape at round(10/3)=3 samples
+        # drifts by 0.1 per trace — by trace 5 the fold is misaligned by
+        # half a bit and the centre sample reads the *wrong* bit.
+        bits = "01" * 10
+        t, v = self._square(bits, bit_time=1.0, dt=0.3)
+        eye = eye_diagram(t, v, 1.0)
+        centre = np.argmin(np.abs(eye.phase - 0.5))
+        for k in range(eye.n_traces):
+            assert eye.traces[k, centre] == float(bits[k]), f"trace {k} misaligned"
+
+    def test_per_trace_alignment_error_bounded(self):
+        # Exact folding keeps every trace within dt/2 of its true bit
+        # boundary: samples further than dt/2 from an edge always carry
+        # their own bit's value, for every trace index.
+        bits = "0110100110101001"
+        bit_time, dt = 1.0, 0.7
+        t, v = self._square(bits, bit_time=bit_time, dt=dt)
+        eye = eye_diagram(t, v, bit_time)
+        starts = np.rint(np.arange(eye.n_traces) * bit_time / dt)
+        for k in range(eye.n_traces):
+            sample_times = t[int(starts[k]): int(starts[k]) + eye.phase.size]
+            for s, value in zip(sample_times, eye.traces[k]):
+                distance = abs(s - np.round(s / bit_time) * bit_time)
+                if distance > 0.5 * dt + 1e-12:
+                    assert value == float(bits[min(int(s // bit_time), len(bits) - 1)])
+
+    def test_off_grid_t_start_anchors_phase(self):
+        # t_start = 0.25 between samples (dt = 0.1): the first kept
+        # sample sits at 0.3, so the phase axis starts at 0.05 — not 0.
+        dt = 0.1
+        t = dt * np.arange(100)
+        v = np.sin(t)
+        eye = eye_diagram(t, v, 1.0, t_start=0.25)
+        assert eye.phase[0] == pytest.approx(0.05)
+        assert np.all(eye.phase < 1.0)
+        # the folded samples really are the post-t_start ones
+        assert eye.traces[0, 0] == pytest.approx(np.sin(0.3))
+
+    def test_on_grid_t_start_keeps_zero_phase(self):
+        dt = 0.1
+        t = dt * np.arange(100)
+        eye = eye_diagram(t, np.sin(t), 1.0, t_start=0.5)
+        assert eye.phase[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_t_start_before_data_advances_by_whole_bits(self):
+        # a boundary before times[0] moves forward by whole bit periods
+        # instead of producing a bogus multi-bit phase offset
+        dt = 0.1
+        t = 5.0 + dt * np.arange(50)
+        eye = eye_diagram(t, np.sin(t), 1.0, t_start=0.0)
+        assert eye.phase[0] == pytest.approx(0.0, abs=1e-9)
+        assert np.all(eye.phase < 1.0)
+
+
+class TestEyeWidthGeometry:
+    """eye_width span and circularity regressions (PR-10)."""
+
+    def _eye(self, clear_idx, n=10, bit_time=1.0):
+        from repro.waveforms.eye import EyeDiagram
+
+        dt = bit_time / n
+        phase = dt * np.arange(n)
+        # one trace, high where clear, pinned to the midline elsewhere
+        trace = np.where(np.isin(np.arange(n), clear_idx), 1.0, 0.5)
+        return EyeDiagram(phase=phase, traces=trace[None, :], bit_time=bit_time)
+
+    def test_run_spans_k_minus_one_dt(self):
+        # 3 clear samples at 0.3/0.4/0.5 span 0.2, not 0.3
+        eye = self._eye([3, 4, 5])
+        assert eye.eye_width(0.0, 1.0) == pytest.approx(0.2)
+
+    def test_boundary_centred_eye_measured_circularly(self):
+        # clear at phases 0.8, 0.9, 0.0, 0.1: one wrapped run spanning
+        # 0.3 through the UI boundary (the old scan saw two runs of 2)
+        eye = self._eye([8, 9, 0, 1])
+        assert eye.eye_width(0.0, 1.0) == pytest.approx(0.3)
+
+    def test_fully_clear_axis_reports_whole_ui(self):
+        eye = self._eye(list(range(10)))
+        assert eye.eye_width(0.0, 1.0) == pytest.approx(1.0)
+
+    def test_no_clear_phase_reports_zero(self):
+        eye = self._eye([])
+        assert eye.eye_width(0.0, 1.0) == 0.0
